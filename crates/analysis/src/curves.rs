@@ -1,0 +1,136 @@
+//! Learning-curve and learning-efficiency summaries.
+
+use fedft_core::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// One point of the learning-efficiency scatter plots (Figures 6 and 7):
+/// a method's best accuracy against its accuracy-per-second efficiency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Method label.
+    pub label: String,
+    /// Best test accuracy over the run, in percentage points.
+    pub best_accuracy_pct: f64,
+    /// Learning efficiency: accuracy points per simulated client second.
+    pub efficiency: f64,
+    /// Total simulated client seconds of the run.
+    pub total_client_seconds: f64,
+}
+
+/// Builds the learning-efficiency points for a collection of runs.
+pub fn efficiency_points(runs: &[RunResult]) -> Vec<EfficiencyPoint> {
+    runs.iter()
+        .map(|run| EfficiencyPoint {
+            label: run.label.clone(),
+            best_accuracy_pct: f64::from(run.best_accuracy()) * 100.0,
+            efficiency: run.learning_efficiency(),
+            total_client_seconds: run.total_client_seconds(),
+        })
+        .collect()
+}
+
+/// A learning curve: per-round test accuracies (in percentage points) for one
+/// method, as plotted in Figures 5, 8 and 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    /// Method label.
+    pub label: String,
+    /// Per-round accuracy in percentage points, index 0 is round 1.
+    pub accuracy_pct: Vec<f64>,
+}
+
+/// Extracts learning curves from a collection of runs.
+pub fn learning_curves(runs: &[RunResult]) -> Vec<LearningCurve> {
+    runs.iter()
+        .map(|run| LearningCurve {
+            label: run.label.clone(),
+            accuracy_pct: run
+                .accuracy_curve()
+                .into_iter()
+                .map(|a| f64::from(a) * 100.0)
+                .collect(),
+        })
+        .collect()
+}
+
+/// Area under the accuracy curve, normalised by the number of rounds — a
+/// convergence-speed summary (higher is faster/better).
+pub fn normalised_auc(run: &RunResult) -> f64 {
+    if run.rounds.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = run.rounds.iter().map(|r| f64::from(r.test_accuracy)).sum();
+    total / run.rounds.len() as f64
+}
+
+/// Relative efficiency of `candidate` over `reference` (e.g. FedFT-EDS over
+/// FedAvg): how many times more accuracy per second the candidate achieves.
+/// Returns `f64::INFINITY` when the reference has zero efficiency.
+pub fn efficiency_ratio(candidate: &RunResult, reference: &RunResult) -> f64 {
+    let reference_eff = reference.learning_efficiency();
+    if reference_eff <= 0.0 {
+        return f64::INFINITY;
+    }
+    candidate.learning_efficiency() / reference_eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedft_core::RoundRecord;
+
+    fn run(label: &str, accs: &[f32], seconds_per_round: f64) -> RunResult {
+        let rounds = accs
+            .iter()
+            .enumerate()
+            .map(|(i, &acc)| RoundRecord {
+                round: i + 1,
+                test_accuracy: acc,
+                test_loss: 1.0 - acc,
+                mean_train_loss: 0.1,
+                participants: 4,
+                selected_samples: 40,
+                round_client_seconds: seconds_per_round,
+                cumulative_client_seconds: seconds_per_round * (i + 1) as f64,
+            })
+            .collect();
+        RunResult::new(label, rounds)
+    }
+
+    #[test]
+    fn efficiency_points_extract_summaries() {
+        let runs = vec![run("fast", &[0.4, 0.6], 1.0), run("slow", &[0.5, 0.7], 10.0)];
+        let points = efficiency_points(&runs);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].label, "fast");
+        assert!((points[0].best_accuracy_pct - 60.0).abs() < 1e-3);
+        assert!(points[0].efficiency > points[1].efficiency);
+        assert!((points[1].total_client_seconds - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learning_curves_are_percentages() {
+        let curves = learning_curves(&[run("m", &[0.25, 0.5], 1.0)]);
+        assert_eq!(curves[0].accuracy_pct, vec![25.0, 50.0]);
+    }
+
+    #[test]
+    fn normalised_auc_behaviour() {
+        assert_eq!(normalised_auc(&RunResult::new("empty", vec![])), 0.0);
+        let fast = run("fast", &[0.5, 0.6, 0.7], 1.0);
+        let slow = run("slow", &[0.1, 0.2, 0.7], 1.0);
+        assert!(normalised_auc(&fast) > normalised_auc(&slow));
+    }
+
+    #[test]
+    fn efficiency_ratio_compares_methods() {
+        let cheap = run("cheap", &[0.6], 1.0);
+        let expensive = run("expensive", &[0.6], 3.0);
+        let ratio = efficiency_ratio(&cheap, &expensive);
+        assert!((ratio - 3.0).abs() < 1e-9);
+        assert_eq!(
+            efficiency_ratio(&cheap, &RunResult::new("zero", vec![])),
+            f64::INFINITY
+        );
+    }
+}

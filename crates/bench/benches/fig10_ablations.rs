@@ -1,0 +1,31 @@
+//! Criterion bench for reduced Figure 10 ablation sweeps (fine-tuned part and
+//! hardened-softmax temperature).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::ablation;
+use fedft_bench::ExperimentProfile;
+use fedft_nn::FreezeLevel;
+
+fn bench_finetuned_part(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    c.bench_function("fig10a_finetuned_part_tiny_profile", |bencher| {
+        bencher.iter(|| {
+            ablation::finetuned_part_sweep(&profile, &[FreezeLevel::Moderate, FreezeLevel::Classifier])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_temperature(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    c.bench_function("fig10c_temperature_tiny_profile", |bencher| {
+        bencher.iter(|| ablation::temperature_sweep(&profile, &[0.1, 5.0]).unwrap())
+    });
+}
+
+criterion_group!(
+    name = fig10;
+    config = Criterion::default().sample_size(10);
+    targets = bench_finetuned_part, bench_temperature
+);
+criterion_main!(fig10);

@@ -1,0 +1,20 @@
+//! Criterion bench for the Figure 1 experiment (entropy histograms under
+//! different softmax temperatures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::entropy_fig;
+use fedft_bench::ExperimentProfile;
+
+fn bench_entropy_histograms(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    c.bench_function("fig1_entropy_histograms_tiny_profile", |bencher| {
+        bencher.iter(|| entropy_fig::run(&profile, &[1.0, 0.5, 0.1]).unwrap())
+    });
+}
+
+criterion_group!(
+    name = fig1;
+    config = Criterion::default().sample_size(10);
+    targets = bench_entropy_histograms
+);
+criterion_main!(fig1);

@@ -1,0 +1,20 @@
+//! Criterion bench for the Figures 2–4 experiment (CKA similarity across
+//! client-updated models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::cka_fig;
+use fedft_bench::ExperimentProfile;
+
+fn bench_cka(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    c.bench_function("fig2_4_cka_tiny_profile", |bencher| {
+        bencher.iter(|| cka_fig::run(&profile, &[0.5]).unwrap())
+    });
+}
+
+criterion_group!(
+    name = cka;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cka
+);
+criterion_main!(cka);

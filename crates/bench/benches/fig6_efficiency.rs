@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 6 learning-efficiency computation: runs a
+//! FedAvg / FedFT-EDS pair and derives the efficiency points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_analysis::curves::efficiency_points;
+use fedft_bench::setup::{self, Task};
+use fedft_bench::ExperimentProfile;
+use fedft_core::Method;
+
+fn bench_efficiency_points(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    let source = setup::source_bundle(&profile).unwrap();
+    let target = setup::target_bundle(&profile, Task::Cifar10).unwrap();
+    let pretrained = setup::pretrained_model(&profile, &source, &target).unwrap();
+    let scratch = setup::scratch_model(&profile, &target);
+    let fed = setup::federate(&target, profile.clients_small, 0.5, profile.seed).unwrap();
+    let base = setup::base_config(&profile, profile.rounds_small);
+
+    c.bench_function("fig6_fedavg_vs_fedft_eds_efficiency_tiny", |bencher| {
+        bencher.iter(|| {
+            let runs = vec![
+                setup::run_method(Method::FedAvg, base.clone(), &fed, &pretrained, &scratch)
+                    .unwrap(),
+                setup::run_method(
+                    Method::FedFtEds { pds: 0.5 },
+                    base.clone(),
+                    &fed,
+                    &pretrained,
+                    &scratch,
+                )
+                .unwrap(),
+            ];
+            efficiency_points(&runs)
+        })
+    });
+}
+
+criterion_group!(
+    name = fig6;
+    config = Criterion::default().sample_size(10);
+    targets = bench_efficiency_points
+);
+criterion_main!(fig6);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the primitives every experiment is built
+//! on: matrix multiplication, softmax + entropy scoring, entropy-based
+//! selection, weighted aggregation and a single client local update.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fedft_core::{Client, ClientUpdate, FlConfig, SelectionStrategy, Server};
+use fedft_data::Dataset;
+use fedft_nn::{BlockNet, BlockNetConfig, ParamVector};
+use fedft_tensor::{init, rng, stats, Matrix};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut r = rng::rng_for(seed, "bench");
+    init::normal(&mut r, rows, cols, 0.0, 1.0)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = random_matrix(64, 128, 1);
+    let b = random_matrix(128, 64, 2);
+    c.bench_function("matmul_64x128x64", |bencher| {
+        bencher.iter(|| a.matmul(&b).unwrap())
+    });
+}
+
+fn bench_softmax_entropy(c: &mut Criterion) {
+    let logits = random_matrix(256, 100, 3);
+    c.bench_function("hardened_softmax_entropy_256x100", |bencher| {
+        bencher.iter(|| {
+            let p = stats::softmax_with_temperature(&logits, 0.1).unwrap();
+            stats::row_entropies(&p)
+        })
+    });
+}
+
+fn bench_entropy_selection(c: &mut Criterion) {
+    let mut model = BlockNet::new(&BlockNetConfig::new(48, 10).with_hidden(64, 64, 64), 1);
+    let features = random_matrix(200, 48, 4);
+    let dataset = Dataset::new(features, (0..200).map(|i| i % 10).collect(), 10).unwrap();
+    let strategy = SelectionStrategy::Entropy {
+        fraction: 0.1,
+        temperature: 0.1,
+    };
+    c.bench_function("entropy_selection_200_samples", |bencher| {
+        bencher.iter(|| strategy.select(&mut model, &dataset, 0, 0, 7).unwrap())
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let server = Server::new();
+    let updates: Vec<ClientUpdate> = (0..50)
+        .map(|id| ClientUpdate {
+            client_id: id,
+            theta: ParamVector::from_values(vec![id as f32; 10_000]),
+            selected_samples: id + 1,
+            local_samples: 100,
+            train_loss: 0.1,
+            compute_seconds: 1.0,
+        })
+        .collect();
+    c.bench_function("aggregate_50_clients_10k_params", |bencher| {
+        bencher.iter(|| server.aggregate(&updates, 0).unwrap())
+    });
+}
+
+fn bench_client_local_update(c: &mut Criterion) {
+    let model = BlockNet::new(&BlockNetConfig::new(48, 10).with_hidden(64, 64, 64), 1);
+    let features = random_matrix(100, 48, 5);
+    let dataset = Dataset::new(features, (0..100).map(|i| i % 10).collect(), 10).unwrap();
+    let config = FlConfig::default()
+        .with_rounds(1)
+        .with_local_epochs(1)
+        .with_batch_size(32)
+        .with_selection(SelectionStrategy::Entropy {
+            fraction: 0.1,
+            temperature: 0.1,
+        });
+    c.bench_function("client_local_update_100_samples", |bencher| {
+        bencher.iter_batched(
+            || Client::new(0, dataset.clone()),
+            |client| client.local_update(&model, &config, 0).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul,
+        bench_softmax_entropy,
+        bench_entropy_selection,
+        bench_aggregation,
+        bench_client_local_update
+);
+criterion_main!(micro);

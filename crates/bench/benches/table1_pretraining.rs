@@ -1,0 +1,20 @@
+//! Criterion bench for the Table I experiment (pretraining benefit), timed on
+//! a reduced profile. Run the `table1` binary for the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::table1;
+use fedft_bench::ExperimentProfile;
+
+fn bench_table1(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    c.bench_function("table1_pretraining_tiny_profile", |bencher| {
+        bencher.iter(|| table1::run_with_alphas(&profile, &[0.5]).unwrap())
+    });
+}
+
+criterion_group!(
+    name = table1;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+);
+criterion_main!(table1);

@@ -1,0 +1,21 @@
+//! Criterion bench for one Table II scenario (close-domain evaluation with
+//! the full method lineup) on the tiny profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::table2;
+use fedft_bench::setup::Task;
+use fedft_bench::ExperimentProfile;
+
+fn bench_table2_scenario(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    c.bench_function("table2_scenario_cifar10_tiny_profile", |bencher| {
+        bencher.iter(|| table2::run_scenario(&profile, Task::Cifar10, 0.5, 0.5).unwrap())
+    });
+}
+
+criterion_group!(
+    name = table2;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2_scenario
+);
+criterion_main!(table2);

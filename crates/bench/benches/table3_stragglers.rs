@@ -1,0 +1,26 @@
+//! Criterion bench for a reduced Table III straggler scenario (large client
+//! pool, FedAvg with dropout vs FedFT-EDS with full participation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::table3::{self, LineupEntry};
+use fedft_bench::setup::Task;
+use fedft_bench::ExperimentProfile;
+use fedft_core::Method;
+
+fn bench_straggler_scenario(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    let entries = vec![
+        LineupEntry { method: Method::FedAvg, participation: 0.25 },
+        LineupEntry { method: Method::FedFtEds { pds: 0.5 }, participation: 1.0 },
+    ];
+    c.bench_function("table3_straggler_scenario_tiny_profile", |bencher| {
+        bencher.iter(|| table3::run_scenario(&profile, Task::Cifar10, 0.5, &entries).unwrap())
+    });
+}
+
+criterion_group!(
+    name = table3;
+    config = Criterion::default().sample_size(10);
+    targets = bench_straggler_scenario
+);
+criterion_main!(table3);

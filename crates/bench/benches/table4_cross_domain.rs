@@ -1,0 +1,21 @@
+//! Criterion bench for a reduced Table IV cross-domain scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedft_bench::experiments::table4;
+use fedft_bench::ExperimentProfile;
+use fedft_core::Method;
+
+fn bench_cross_domain(c: &mut Criterion) {
+    let profile = ExperimentProfile::tiny();
+    let methods = [Method::FedAvg, Method::FedFtEds { pds: 0.5 }];
+    c.bench_function("table4_cross_domain_tiny_profile", |bencher| {
+        bencher.iter(|| table4::run_with_methods(&profile, &methods, 0.5).unwrap())
+    });
+}
+
+criterion_group!(
+    name = table4;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cross_domain
+);
+criterion_main!(table4);

@@ -1,0 +1,70 @@
+//! Regenerates Figure 10: the three ablations of FedFT-EDS (fine-tuned part,
+//! data heterogeneity, hardened-softmax temperature), each against the
+//! FedFT-RDS baseline.
+//!
+//! Usage:
+//! `cargo run --release -p fedft-bench --bin fig10_ablation [-- --profile fast|paper] [-- part|alpha|temperature]`
+//!
+//! Without a sweep argument all three sweeps are run.
+
+use fedft_bench::experiments::ablation::{self, paper_sweeps};
+use fedft_bench::{output, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_env_and_args();
+    let args: Vec<String> = std::env::args().collect();
+    let wants = |name: &str| args.iter().any(|a| a == name);
+    let run_all = !(wants("part") || wants("alpha") || wants("temperature"));
+
+    println!("Figure 10 — ablations (profile: {})", profile.name);
+    let mut failed = false;
+
+    if run_all || wants("part") {
+        match ablation::finetuned_part_sweep(&profile, &paper_sweeps::FREEZE_LEVELS) {
+            Ok(sweep) => {
+                let table = sweep.to_table();
+                output::print_table("Figure 10a — part of the model fine-tuned", &table);
+                if let Err(err) = output::write_table_csv("fig10a_finetuned_part", &table) {
+                    eprintln!("failed to write CSV: {err}");
+                }
+            }
+            Err(err) => {
+                eprintln!("figure 10a failed: {err}");
+                failed = true;
+            }
+        }
+    }
+    if run_all || wants("alpha") {
+        match ablation::heterogeneity_sweep(&profile, &paper_sweeps::ALPHAS) {
+            Ok(sweep) => {
+                let table = sweep.to_table();
+                output::print_table("Figure 10b — data heterogeneity", &table);
+                if let Err(err) = output::write_table_csv("fig10b_heterogeneity", &table) {
+                    eprintln!("failed to write CSV: {err}");
+                }
+            }
+            Err(err) => {
+                eprintln!("figure 10b failed: {err}");
+                failed = true;
+            }
+        }
+    }
+    if run_all || wants("temperature") {
+        match ablation::temperature_sweep(&profile, &paper_sweeps::TEMPERATURES) {
+            Ok(sweep) => {
+                let table = sweep.to_table();
+                output::print_table("Figure 10c — hardened softmax temperature", &table);
+                if let Err(err) = output::write_table_csv("fig10c_temperature", &table) {
+                    eprintln!("failed to write CSV: {err}");
+                }
+            }
+            Err(err) => {
+                eprintln!("figure 10c failed: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates the entropy-distribution panel of Figure 1: per-sample entropy
+//! histograms of one client's data at softmax temperatures ρ ∈ {1.0, 0.5, 0.1}.
+//!
+//! Usage: `cargo run --release -p fedft-bench --bin fig1_entropy [-- --profile fast|paper]`
+
+use fedft_bench::experiments::entropy_fig;
+use fedft_bench::{output, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_env_and_args();
+    println!("Figure 1 — entropy distribution (profile: {})", profile.name);
+    match entropy_fig::run(&profile, &[1.0, 0.5, 0.1]) {
+        Ok(result) => {
+            let table = result.to_table();
+            output::print_table(
+                &format!(
+                    "Figure 1 — entropy histograms over {} client samples",
+                    result.client_samples
+                ),
+                &table,
+            );
+            match output::write_table_csv("fig1_entropy", &table) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(err) => eprintln!("failed to write CSV: {err}"),
+            }
+        }
+        Err(err) => {
+            eprintln!("fig1 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Diagnostic: measures how well the pretrained feature extractor transfers
+//! to the downstream task, independent of federated learning.
+//!
+//! It compares three centralised configurations on the CIFAR-10-like task:
+//! full training from scratch, a linear probe (classifier only) on a random
+//! trunk, and a linear probe on the pretrained trunk. If pretraining
+//! transfers, the pretrained probe should sit far above the random probe.
+//!
+//! Usage: `cargo run --release -p fedft-bench --bin probe_transfer [-- --profile fast|paper]`
+
+use fedft_bench::{setup, ExperimentProfile};
+use fedft_bench::setup::Task;
+use fedft_core::pretrain::pretrain_source_model;
+use fedft_nn::{FreezeLevel, SgdConfig, Trainer, TrainerConfig};
+
+fn main() {
+    let profile = ExperimentProfile::from_env_and_args();
+    let source = setup::source_bundle(&profile).expect("source bundle");
+    let target = setup::target_bundle(&profile, Task::Cifar10).expect("target bundle");
+    let pretrained = setup::pretrained_model(&profile, &source, &target).expect("pretraining");
+    let scratch = setup::scratch_model(&profile, &target);
+
+    let mut source_model = pretrain_source_model(
+        &source,
+        (profile.hidden, profile.hidden, profile.hidden),
+        profile.pretrain_epochs,
+        profile.seed ^ 0x22,
+    )
+    .expect("source pretraining");
+    let source_acc = source_model
+        .evaluate_accuracy(source.test.features(), source.test.labels())
+        .expect("source eval");
+    println!(
+        "source model accuracy on the source test set: {:.2}% ({} classes)",
+        source_acc * 100.0,
+        source.test.num_classes()
+    );
+
+    let probe_trainer = Trainer::new(TrainerConfig {
+        epochs: profile.centralised_epochs,
+        batch_size: 32,
+        sgd: SgdConfig::default(),
+        freeze: FreezeLevel::Classifier,
+        seed: profile.seed,
+    })
+    .expect("trainer");
+    let full_trainer = Trainer::new(TrainerConfig {
+        epochs: profile.centralised_epochs,
+        batch_size: 32,
+        sgd: SgdConfig::default(),
+        freeze: FreezeLevel::Full,
+        seed: profile.seed,
+    })
+    .expect("trainer");
+    let moderate_trainer = Trainer::new(TrainerConfig {
+        epochs: profile.centralised_epochs,
+        batch_size: 32,
+        sgd: SgdConfig::default(),
+        freeze: FreezeLevel::Moderate,
+        seed: profile.seed,
+    })
+    .expect("trainer");
+
+    let report = |label: &str, model: &fedft_nn::BlockNet, trainer: &Trainer| {
+        let mut m = model.clone();
+        trainer
+            .fit(&mut m, target.train.features(), target.train.labels())
+            .expect("fit");
+        let eval = trainer
+            .evaluate(&mut m, target.test.features(), target.test.labels())
+            .expect("eval");
+        println!("{label:<40} test accuracy {:.2}%", eval.accuracy * 100.0);
+    };
+
+    report("full training from scratch", &scratch, &full_trainer);
+    report("linear probe on random trunk", &scratch, &probe_trainer);
+    report("linear probe on pretrained trunk", &pretrained, &probe_trainer);
+    report("upper-part fine-tune on pretrained trunk", &pretrained, &moderate_trainer);
+    report("full fine-tune from pretrained trunk", &pretrained, &full_trainer);
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table II plus the learning curves of Figure 5 and the
+//! learning-efficiency points of Figure 6 (close-domain evaluation, 10
+//! clients, full participation).
+//!
+//! Usage: `cargo run --release -p fedft-bench --bin table2 [-- --profile fast|paper]`
+
+use fedft_bench::experiments::table2;
+use fedft_bench::{output, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_env_and_args();
+    println!("Table II / Figures 5-6 (profile: {})", profile.name);
+    match table2::run(&profile) {
+        Ok(result) => {
+            let main_table = result.to_table();
+            output::print_table(
+                "Table II — global model top-1 accuracy (%), 10 clients, Pds = 10%",
+                &main_table,
+            );
+            let efficiency = result.efficiency_table();
+            output::print_table("Figure 6 — learning efficiency", &efficiency);
+
+            for (name, table) in [
+                ("table2", &main_table),
+                ("fig5_learning_curves", &result.curves_table()),
+                ("fig6_efficiency", &efficiency),
+            ] {
+                match output::write_table_csv(name, table) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(err) => eprintln!("failed to write {name}: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("table2 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

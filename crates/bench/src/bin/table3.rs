@@ -1,0 +1,41 @@
+//! Regenerates Table III plus Figures 7, 8 and 9 (the 100-client straggler
+//! scenario).
+//!
+//! Usage: `cargo run --release -p fedft-bench --bin table3 [-- --profile fast|paper]`
+
+use fedft_bench::experiments::table3;
+use fedft_bench::{output, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_env_and_args();
+    println!(
+        "Table III / Figures 7-9 (profile: {}, {} clients)",
+        profile.name, profile.clients_large
+    );
+    match table3::run(&profile) {
+        Ok(result) => {
+            let main_table = result.to_table();
+            output::print_table(
+                "Table III — top-1 accuracy (%) with straggler simulation",
+                &main_table,
+            );
+            let efficiency = result.efficiency_table();
+            output::print_table("Figure 7 — learning efficiency (large pool)", &efficiency);
+
+            for (name, table) in [
+                ("table3", &main_table),
+                ("fig7_efficiency", &efficiency),
+                ("fig8_9_learning_curves", &result.curves_table()),
+            ] {
+                match output::write_table_csv(name, table) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(err) => eprintln!("failed to write {name}: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("table3 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Table II + Figures 5 and 6 — close-domain evaluation with 10 clients.
+//!
+//! Seven federated methods plus the centralised upper bound, on the
+//! CIFAR-10-like and CIFAR-100-like tasks at two heterogeneity levels. The
+//! same runs also provide the learning curves of Figure 5 and the
+//! learning-efficiency points of Figure 6.
+
+use crate::profile::ExperimentProfile;
+use crate::setup::{self, Task};
+use fedft_analysis::curves::{efficiency_points, EfficiencyPoint};
+use fedft_analysis::{report, Table};
+use fedft_core::baseline::centralised_baseline;
+use fedft_core::{FlError, Method, RunResult};
+use serde::{Deserialize, Serialize};
+
+/// Selection proportion `P_ds` used by the selection-based methods in Table II.
+pub const TABLE2_PDS: f64 = 0.1;
+
+/// Results for one (task, alpha) scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Target task label.
+    pub task: String,
+    /// Dirichlet concentration.
+    pub alpha: f64,
+    /// Federated runs, one per method (in Table II order).
+    pub runs: Vec<RunResult>,
+    /// Accuracy of the centralised upper bound.
+    pub centralised_accuracy: f32,
+}
+
+impl ScenarioResult {
+    /// Best accuracy of the run with the given label, if present.
+    pub fn best_accuracy_of(&self, label: &str) -> Option<f32> {
+        self.runs
+            .iter()
+            .find(|r| r.label == label)
+            .map(RunResult::best_accuracy)
+    }
+
+    /// Learning-efficiency points (Figure 6) for this scenario.
+    pub fn efficiency_points(&self) -> Vec<EfficiencyPoint> {
+        efficiency_points(&self.runs)
+    }
+}
+
+/// Result of the complete Table II experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// One entry per (task, alpha) combination.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl Table2Result {
+    /// Renders the paper's Table II: one row per method, one accuracy column
+    /// per scenario.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["Method".to_string()];
+        for s in &self.scenarios {
+            headers.push(format!("{} α={}", s.task, s.alpha));
+        }
+        let mut table = Table::new(headers);
+        if self.scenarios.is_empty() {
+            return table;
+        }
+        let method_labels: Vec<String> =
+            self.scenarios[0].runs.iter().map(|r| r.label.clone()).collect();
+        for label in &method_labels {
+            let mut row = vec![label.clone()];
+            for scenario in &self.scenarios {
+                row.push(
+                    scenario
+                        .best_accuracy_of(label)
+                        .map_or("-".into(), |a| report::pct(f64::from(a))),
+                );
+            }
+            let _ = table.add_row(row);
+        }
+        let mut centralised_row = vec!["Centralised".to_string()];
+        for scenario in &self.scenarios {
+            centralised_row.push(report::pct(f64::from(scenario.centralised_accuracy)));
+        }
+        let _ = table.add_row(centralised_row);
+        table
+    }
+
+    /// Renders the Figure 5 learning curves as a long-format table
+    /// (scenario, method, round, accuracy).
+    pub fn curves_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "task".into(),
+            "alpha".into(),
+            "method".into(),
+            "round".into(),
+            "accuracy_pct".into(),
+        ]);
+        for scenario in &self.scenarios {
+            for run in &scenario.runs {
+                for record in &run.rounds {
+                    let _ = table.add_row(vec![
+                        scenario.task.clone(),
+                        format!("{}", scenario.alpha),
+                        run.label.clone(),
+                        record.round.to_string(),
+                        report::pct(f64::from(record.test_accuracy)),
+                    ]);
+                }
+            }
+        }
+        table
+    }
+
+    /// Renders the Figure 6 learning-efficiency points.
+    pub fn efficiency_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "task".into(),
+            "alpha".into(),
+            "method".into(),
+            "best_accuracy_pct".into(),
+            "efficiency_pct_per_s".into(),
+            "total_client_seconds".into(),
+        ]);
+        for scenario in &self.scenarios {
+            for point in scenario.efficiency_points() {
+                let _ = table.add_row(vec![
+                    scenario.task.clone(),
+                    format!("{}", scenario.alpha),
+                    point.label.clone(),
+                    format!("{:.2}", point.best_accuracy_pct),
+                    report::eff(point.efficiency),
+                    format!("{:.1}", point.total_client_seconds),
+                ]);
+            }
+        }
+        table
+    }
+}
+
+/// Runs one (task, alpha) scenario with the Table II method lineup.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_scenario(
+    profile: &ExperimentProfile,
+    task: Task,
+    alpha: f64,
+    pds: f64,
+) -> Result<ScenarioResult, FlError> {
+    let source = setup::source_bundle(profile)?;
+    let target = setup::target_bundle(profile, task)?;
+    let pretrained = setup::pretrained_model(profile, &source, &target)?;
+    let scratch = setup::scratch_model(profile, &target);
+    let fed = setup::federate(&target, profile.clients_small, alpha, profile.seed)?;
+    let base = setup::base_config(profile, profile.rounds_small);
+
+    let mut runs = Vec::new();
+    for method in Method::table2_lineup(pds) {
+        runs.push(setup::run_method(
+            method,
+            base.clone(),
+            &fed,
+            &pretrained,
+            &scratch,
+        )?);
+    }
+    let centralised = centralised_baseline(
+        &target,
+        &setup::model_config(profile, &target),
+        Some(&pretrained),
+        profile.centralised_epochs,
+        profile.seed,
+    )?;
+    Ok(ScenarioResult {
+        task: task.label().to_string(),
+        alpha,
+        runs,
+        centralised_accuracy: centralised.test_accuracy,
+    })
+}
+
+/// Runs the full Table II experiment: both tasks, both heterogeneity levels.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(profile: &ExperimentProfile) -> Result<Table2Result, FlError> {
+    let mut scenarios = Vec::new();
+    for task in [Task::Cifar10, Task::Cifar100] {
+        for alpha in [0.1, 0.5] {
+            scenarios.push(run_scenario(profile, task, alpha, TABLE2_PDS)?);
+        }
+    }
+    Ok(Table2Result { scenarios })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_runs_all_methods_with_paper_labels() {
+        // The tiny profile is far below the scale at which the paper's
+        // accuracy orderings stabilise, so this test only checks structure;
+        // the orderings themselves are asserted by the integration tests and
+        // the fast-profile experiment runs recorded in EXPERIMENTS.md.
+        let profile = ExperimentProfile::tiny();
+        let scenario = run_scenario(&profile, Task::Cifar10, 0.5, 0.5).unwrap();
+        assert_eq!(scenario.runs.len(), 7);
+        for label in [
+            "FedAvg w/o pretraining",
+            "FedAvg",
+            "FedAvg-RDS (50%)",
+            "FedProx",
+            "FedProx-RDS (50%)",
+            "FedFT-RDS (50%)",
+            "FedFT-EDS (50%)",
+        ] {
+            assert!(
+                scenario.best_accuracy_of(label).is_some(),
+                "missing run for {label}"
+            );
+        }
+        assert!(scenario.centralised_accuracy > 0.0);
+        assert!(!scenario.efficiency_points().is_empty());
+
+        let result = Table2Result {
+            scenarios: vec![scenario],
+        };
+        let table = result.to_table();
+        assert_eq!(table.len(), 8, "7 methods + centralised row");
+        assert!(!result.curves_table().is_empty());
+        assert_eq!(result.efficiency_table().len(), 7);
+    }
+}

@@ -1,0 +1,238 @@
+//! Table III + Figures 7–9 — the 100-client straggler scenario.
+//!
+//! FedAvg is run at three participation fractions (`fn` ∈ {100%, 20%, 10%})
+//! to model stragglers dropping out under the heavy full-model workload,
+//! while the FedFT variants assume full participation thanks to their reduced
+//! workload. The same runs provide the learning-efficiency points of
+//! Figure 7 and the learning curves of Figures 8 and 9.
+
+use crate::profile::ExperimentProfile;
+use crate::setup::{self, Task};
+use fedft_analysis::curves::efficiency_points;
+use fedft_analysis::{report, Table};
+use fedft_core::{FlError, Method, RunResult, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// A named entry of the Table III lineup: a method plus the participation
+/// fraction it runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineupEntry {
+    /// The federated method.
+    pub method: Method,
+    /// Participation fraction `fn`.
+    pub participation: f64,
+}
+
+impl LineupEntry {
+    /// Label in the paper's Table III style.
+    pub fn label(&self) -> String {
+        if (self.participation - 1.0).abs() < 1e-12 {
+            self.method.name()
+        } else {
+            format!(
+                "{}, {:.0}% c.p.",
+                self.method.name(),
+                self.participation * 100.0
+            )
+        }
+    }
+}
+
+/// The Table III lineup of methods.
+pub fn lineup() -> Vec<LineupEntry> {
+    vec![
+        LineupEntry { method: Method::FedAvgScratch, participation: 1.0 },
+        LineupEntry { method: Method::FedAvg, participation: 1.0 },
+        LineupEntry { method: Method::FedAvg, participation: 0.2 },
+        LineupEntry { method: Method::FedAvg, participation: 0.1 },
+        LineupEntry { method: Method::FedFtRds { pds: 0.1 }, participation: 1.0 },
+        LineupEntry { method: Method::FedFtEds { pds: 0.1 }, participation: 1.0 },
+        LineupEntry { method: Method::FedFtAll, participation: 1.0 },
+        LineupEntry { method: Method::FedFtRds { pds: 0.5 }, participation: 1.0 },
+        LineupEntry { method: Method::FedFtEds { pds: 0.5 }, participation: 1.0 },
+    ]
+}
+
+/// Results for one (task, alpha) scenario of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StragglerScenario {
+    /// Target task label.
+    pub task: String,
+    /// Dirichlet concentration.
+    pub alpha: f64,
+    /// One run per lineup entry, labelled with [`LineupEntry::label`].
+    pub runs: Vec<RunResult>,
+}
+
+impl StragglerScenario {
+    /// Best accuracy of the run with the given label, if present.
+    pub fn best_accuracy_of(&self, label: &str) -> Option<f32> {
+        self.runs
+            .iter()
+            .find(|r| r.label == label)
+            .map(RunResult::best_accuracy)
+    }
+}
+
+/// Result of the full Table III experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// One entry per (task, alpha) combination.
+    pub scenarios: Vec<StragglerScenario>,
+}
+
+impl Table3Result {
+    /// Renders the paper's Table III.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["Method".to_string()];
+        for s in &self.scenarios {
+            headers.push(format!("{} α={}", s.task, s.alpha));
+        }
+        let mut table = Table::new(headers);
+        if self.scenarios.is_empty() {
+            return table;
+        }
+        for label in self.scenarios[0].runs.iter().map(|r| r.label.clone()) {
+            let mut row = vec![label.clone()];
+            for scenario in &self.scenarios {
+                row.push(
+                    scenario
+                        .best_accuracy_of(&label)
+                        .map_or("-".into(), |a| report::pct(f64::from(a))),
+                );
+            }
+            let _ = table.add_row(row);
+        }
+        table
+    }
+
+    /// Renders the Figure 7 learning-efficiency points.
+    pub fn efficiency_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "task".into(),
+            "alpha".into(),
+            "method".into(),
+            "best_accuracy_pct".into(),
+            "efficiency_pct_per_s".into(),
+        ]);
+        for scenario in &self.scenarios {
+            for point in efficiency_points(&scenario.runs) {
+                let _ = table.add_row(vec![
+                    scenario.task.clone(),
+                    format!("{}", scenario.alpha),
+                    point.label,
+                    format!("{:.2}", point.best_accuracy_pct),
+                    report::eff(point.efficiency),
+                ]);
+            }
+        }
+        table
+    }
+
+    /// Renders the Figures 8/9 learning curves as a long-format table.
+    pub fn curves_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "task".into(),
+            "alpha".into(),
+            "method".into(),
+            "round".into(),
+            "accuracy_pct".into(),
+        ]);
+        for scenario in &self.scenarios {
+            for run in &scenario.runs {
+                for record in &run.rounds {
+                    let _ = table.add_row(vec![
+                        scenario.task.clone(),
+                        format!("{}", scenario.alpha),
+                        run.label.clone(),
+                        record.round.to_string(),
+                        report::pct(f64::from(record.test_accuracy)),
+                    ]);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Runs one (task, alpha) scenario with the Table III lineup.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_scenario(
+    profile: &ExperimentProfile,
+    task: Task,
+    alpha: f64,
+    entries: &[LineupEntry],
+) -> Result<StragglerScenario, FlError> {
+    let source = setup::source_bundle(profile)?;
+    let target = setup::target_bundle(profile, task)?;
+    let pretrained = setup::pretrained_model(profile, &source, &target)?;
+    let scratch = setup::scratch_model(profile, &target);
+    let fed = setup::federate(&target, profile.clients_large, alpha, profile.seed)?;
+
+    let mut runs = Vec::new();
+    for entry in entries {
+        let base = setup::base_config(profile, profile.rounds_large)
+            .with_participation(entry.participation);
+        let config = entry.method.configure(base);
+        let initial = if entry.method.uses_pretraining() {
+            &pretrained
+        } else {
+            &scratch
+        };
+        runs.push(Simulation::new(config)?.run_labelled(entry.label(), &fed, initial)?);
+    }
+    Ok(StragglerScenario {
+        task: task.label().to_string(),
+        alpha,
+        runs,
+    })
+}
+
+/// Runs the full Table III experiment.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run(profile: &ExperimentProfile) -> Result<Table3Result, FlError> {
+    let entries = lineup();
+    let mut scenarios = Vec::new();
+    for task in [Task::Cifar10, Task::Cifar100] {
+        for alpha in [0.1, 0.5] {
+            scenarios.push(run_scenario(profile, task, alpha, &entries)?);
+        }
+    }
+    Ok(Table3Result { scenarios })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_the_paper() {
+        let entries = lineup();
+        assert_eq!(entries.len(), 9);
+        assert_eq!(entries[0].label(), "FedAvg w/o pretraining");
+        assert_eq!(entries[2].label(), "FedAvg, 20% c.p.");
+        assert_eq!(entries[8].label(), "FedFT-EDS (50%)");
+    }
+
+    #[test]
+    fn tiny_scenario_runs_a_reduced_lineup() {
+        let profile = ExperimentProfile::tiny();
+        let entries = vec![
+            LineupEntry { method: Method::FedAvg, participation: 0.5 },
+            LineupEntry { method: Method::FedFtEds { pds: 0.5 }, participation: 1.0 },
+        ];
+        let scenario = run_scenario(&profile, Task::Cifar10, 0.5, &entries).unwrap();
+        assert_eq!(scenario.runs.len(), 2);
+        assert!(scenario.best_accuracy_of("FedAvg, 50% c.p.").is_some());
+        let result = Table3Result { scenarios: vec![scenario] };
+        assert_eq!(result.to_table().len(), 2);
+        assert_eq!(result.efficiency_table().len(), 2);
+        assert!(!result.curves_table().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared experiment plumbing: domains, pretraining, partitioning, runs.
+
+use crate::profile::ExperimentProfile;
+use fedft_core::pretrain::pretrain_global_model;
+use fedft_core::{FlConfig, FlError, Method, RunResult, Simulation};
+use fedft_data::federated::PartitionScheme;
+use fedft_data::{domains, DomainBundle, FederatedDataset};
+use fedft_nn::{BlockNet, BlockNetConfig};
+
+/// The target task of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// CIFAR-10-like close-domain image task.
+    Cifar10,
+    /// CIFAR-100-like close-domain image task.
+    Cifar100,
+    /// Google-Speech-Commands-like cross-domain task.
+    SpeechCommands,
+}
+
+impl Task {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Task::Cifar10 => "CIFAR-10-like",
+            Task::Cifar100 => "CIFAR-100-like",
+            Task::SpeechCommands => "GSC-like",
+        }
+    }
+}
+
+/// Generates the source (pretraining) domain bundle.
+pub fn source_bundle(profile: &ExperimentProfile) -> Result<DomainBundle, FlError> {
+    domains::source_imagenet32()
+        .with_samples_per_class(profile.samples_per_class_source)
+        .with_test_samples_per_class(profile.test_samples_per_class)
+        .generate(profile.seed ^ 0x50)
+        .map_err(FlError::from)
+}
+
+/// Generates the bundle for a target task.
+pub fn target_bundle(profile: &ExperimentProfile, task: Task) -> Result<DomainBundle, FlError> {
+    let spec = match task {
+        Task::Cifar10 => domains::cifar10_like().with_samples_per_class(profile.samples_per_class_c10),
+        Task::Cifar100 => {
+            domains::cifar100_like().with_samples_per_class(profile.samples_per_class_c100)
+        }
+        Task::SpeechCommands => {
+            domains::speech_commands_like().with_samples_per_class(profile.samples_per_class_gsc)
+        }
+    };
+    spec.with_test_samples_per_class(profile.test_samples_per_class)
+        .generate(profile.seed ^ 0x7A)
+        .map_err(FlError::from)
+}
+
+/// The model configuration used for a target bundle under a profile.
+pub fn model_config(profile: &ExperimentProfile, bundle: &DomainBundle) -> BlockNetConfig {
+    BlockNetConfig::new(bundle.train.feature_dim(), bundle.train.num_classes()).with_hidden(
+        profile.hidden,
+        profile.hidden,
+        profile.hidden,
+    )
+}
+
+/// Builds a randomly initialised ("from scratch") global model for a task.
+pub fn scratch_model(profile: &ExperimentProfile, bundle: &DomainBundle) -> BlockNet {
+    BlockNet::new(&model_config(profile, bundle), profile.seed ^ 0x11)
+}
+
+/// Pretrains the global model on `source` and adapts its head to `target`.
+pub fn pretrained_model(
+    profile: &ExperimentProfile,
+    source: &DomainBundle,
+    target: &DomainBundle,
+) -> Result<BlockNet, FlError> {
+    pretrain_global_model(
+        &model_config(profile, target),
+        source,
+        profile.pretrain_epochs,
+        profile.seed ^ 0x22,
+    )
+}
+
+/// Partitions a target bundle across `clients` clients with Dirichlet(alpha)
+/// label skew.
+pub fn federate(
+    bundle: &DomainBundle,
+    clients: usize,
+    alpha: f64,
+    seed: u64,
+) -> Result<FederatedDataset, FlError> {
+    FederatedDataset::partition(
+        &bundle.train,
+        bundle.test.clone(),
+        clients,
+        PartitionScheme::Dirichlet { alpha },
+        seed,
+    )
+    .map_err(FlError::from)
+}
+
+/// Base simulation configuration for a profile: rounds, local epochs, batch
+/// size, seed; method-specific fields are overridden by [`Method::configure`].
+pub fn base_config(profile: &ExperimentProfile, rounds: usize) -> FlConfig {
+    FlConfig::default()
+        .with_rounds(rounds)
+        .with_local_epochs(profile.local_epochs)
+        .with_batch_size(profile.batch_size)
+        .with_seed(profile.seed)
+}
+
+/// Runs a named method against a federated dataset, automatically choosing
+/// the pretrained or scratch initial model and attaching the method's name as
+/// the run label.
+pub fn run_method(
+    method: Method,
+    base: FlConfig,
+    data: &FederatedDataset,
+    pretrained: &BlockNet,
+    scratch: &BlockNet,
+) -> Result<RunResult, FlError> {
+    let config = method.configure(base);
+    let initial = if method.uses_pretraining() {
+        pretrained
+    } else {
+        scratch
+    };
+    Simulation::new(config)?.run_labelled(method.name(), data, initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ExperimentProfile {
+        ExperimentProfile::tiny()
+    }
+
+    #[test]
+    fn bundles_have_expected_shapes() {
+        let p = profile();
+        let source = source_bundle(&p).unwrap();
+        assert_eq!(source.train.num_classes(), 40);
+        let c10 = target_bundle(&p, Task::Cifar10).unwrap();
+        assert_eq!(c10.train.num_classes(), 10);
+        let c100 = target_bundle(&p, Task::Cifar100).unwrap();
+        assert_eq!(c100.train.num_classes(), 100);
+        let gsc = target_bundle(&p, Task::SpeechCommands).unwrap();
+        assert_eq!(gsc.train.num_classes(), 35);
+        assert_eq!(Task::Cifar10.label(), "CIFAR-10-like");
+    }
+
+    #[test]
+    fn pretrained_and_scratch_models_share_the_architecture() {
+        let p = profile();
+        let source = source_bundle(&p).unwrap();
+        let target = target_bundle(&p, Task::Cifar10).unwrap();
+        let pre = pretrained_model(&p, &source, &target).unwrap();
+        let scratch = scratch_model(&p, &target);
+        assert_eq!(pre.num_classes(), scratch.num_classes());
+        assert_eq!(pre.total_parameter_count(), scratch.total_parameter_count());
+        assert_ne!(pre.full_vector(), scratch.full_vector());
+    }
+
+    #[test]
+    fn run_method_executes_end_to_end() {
+        let p = profile();
+        let source = source_bundle(&p).unwrap();
+        let target = target_bundle(&p, Task::Cifar10).unwrap();
+        let pre = pretrained_model(&p, &source, &target).unwrap();
+        let scratch = scratch_model(&p, &target);
+        let fed = federate(&target, p.clients_small, 0.5, p.seed).unwrap();
+        let base = base_config(&p, p.rounds_small);
+        let result = run_method(Method::FedFtEds { pds: 0.5 }, base, &fed, &pre, &scratch).unwrap();
+        assert_eq!(result.rounds.len(), p.rounds_small);
+        assert_eq!(result.label, "FedFT-EDS (50%)");
+    }
+}

@@ -1,0 +1,251 @@
+//! Client-side local update (paper Algorithm 1, lines 6–9).
+
+use crate::config::{FlConfig, LocalAlgorithm};
+use crate::Result;
+use fedft_data::Dataset;
+use fedft_nn::{BlockNet, ParamVector, ProximalTerm, Sgd};
+use fedft_tensor::rng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// The result of one client's local round, uploaded to the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientUpdate {
+    /// Id of the client that produced the update.
+    pub client_id: usize,
+    /// Updated trainable parameters `θ_k^{t+1}`.
+    pub theta: ParamVector,
+    /// Number of locally selected training samples `|D_{k,select}^t|` — used
+    /// as the aggregation weight.
+    pub selected_samples: usize,
+    /// Size of the client's full local dataset `|D_k|`.
+    pub local_samples: usize,
+    /// Mean local training loss over the final local epoch.
+    pub train_loss: f32,
+    /// Simulated client compute time for this round, in seconds.
+    pub compute_seconds: f64,
+}
+
+/// A federated client holding a private shard of data.
+///
+/// A `Client` is stateless between rounds apart from its dataset: every round
+/// it downloads the current global trainable parameters, selects local data,
+/// fine-tunes and uploads the new parameters — matching the paper's setting
+/// where the momentum/optimiser state is not carried across rounds.
+#[derive(Debug, Clone)]
+pub struct Client {
+    id: usize,
+    data: Dataset,
+}
+
+impl Client {
+    /// Creates a client with the given id and private data shard.
+    pub fn new(id: usize, data: Dataset) -> Self {
+        Client { id, data }
+    }
+
+    /// The client id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The client's private dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Number of local samples `|D_k|`.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Runs one local round.
+    ///
+    /// `global_model` is the server's current global model (both the shared
+    /// frozen part `ϕ` and the trainable part `θ^t`); the client works on its
+    /// own copy. Returns the uploaded [`ClientUpdate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the local dataset
+    /// is empty.
+    pub fn local_update(
+        &self,
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<ClientUpdate> {
+        let mut model = global_model.clone();
+
+        // --- Data selection (Equations 2-3, hardened softmax Equation 6).
+        let selected_indices =
+            config
+                .selection
+                .select(&mut model, &self.data, round, self.id, config.seed)?;
+        let selected = self.data.subset(&selected_indices)?;
+
+        // --- Local fine-tuning of the trainable part θ (Equation 4).
+        let mut optimizer = Sgd::new(config.sgd)?;
+        if let LocalAlgorithm::FedProx { mu } = config.algorithm {
+            optimizer.set_proximal(Some(ProximalTerm {
+                mu,
+                reference: model.trainable_vector(config.freeze),
+            }));
+        }
+        let mut order: Vec<usize> = (0..selected.len()).collect();
+        let mut train_loss = 0.0_f32;
+        for epoch in 0..config.local_epochs {
+            let mut shuffle_rng = rng::rng_for_indexed(
+                config.seed,
+                &format!("client-{}-round-{round}-epoch", self.id),
+                epoch as u64,
+            );
+            order.shuffle(&mut shuffle_rng);
+            let mut epoch_loss = 0.0_f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(config.batch_size) {
+                let batch_x = selected.features().select_rows(chunk);
+                let batch_y: Vec<usize> = chunk.iter().map(|&i| selected.labels()[i]).collect();
+                epoch_loss += model.train_batch(&batch_x, &batch_y, &mut optimizer, config.freeze)?;
+                batches += 1;
+            }
+            train_loss = epoch_loss / batches.max(1) as f32;
+        }
+
+        // --- Cost accounting for the learning-efficiency metric.
+        let flops = model.flops_per_sample(config.freeze);
+        let compute_seconds = config.cost.client_round_seconds(
+            &flops,
+            self.data.len(),
+            selected.len(),
+            config.local_epochs,
+            config.selection.needs_inference_pass(),
+        );
+
+        Ok(ClientUpdate {
+            client_id: self.id,
+            theta: model.trainable_vector(config.freeze),
+            selected_samples: selected.len(),
+            local_samples: self.data.len(),
+            train_loss,
+            compute_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SelectionStrategy;
+    use fedft_nn::{BlockNetConfig, FreezeLevel};
+    use fedft_tensor::init;
+
+    fn client_dataset(n: usize, seed: u64) -> Dataset {
+        let mut r = rng::rng_for(seed, "client-test-data");
+        let features = init::normal(&mut r, n, 6, 0.0, 1.0);
+        Dataset::new(features, (0..n).map(|i| i % 3).collect(), 3).unwrap()
+    }
+
+    fn global_model() -> BlockNet {
+        BlockNet::new(&BlockNetConfig::new(6, 3).with_hidden(10, 10, 10), 5)
+    }
+
+    fn quick_config() -> FlConfig {
+        FlConfig::default()
+            .with_rounds(1)
+            .with_local_epochs(2)
+            .with_batch_size(8)
+    }
+
+    #[test]
+    fn local_update_produces_consistent_metadata() {
+        let client = Client::new(3, client_dataset(30, 1));
+        let update = client
+            .local_update(&global_model(), &quick_config(), 0)
+            .unwrap();
+        assert_eq!(update.client_id, 3);
+        assert_eq!(update.local_samples, 30);
+        assert_eq!(update.selected_samples, 30);
+        assert!(update.compute_seconds > 0.0);
+        assert_eq!(
+            update.theta.len(),
+            global_model().trainable_parameter_count(FreezeLevel::Moderate)
+        );
+        assert_eq!(client.id(), 3);
+        assert_eq!(client.num_samples(), 30);
+        assert_eq!(client.data().len(), 30);
+    }
+
+    #[test]
+    fn local_update_changes_theta_but_is_deterministic() {
+        let client = Client::new(0, client_dataset(24, 2));
+        let model = global_model();
+        let config = quick_config();
+        let a = client.local_update(&model, &config, 0).unwrap();
+        let b = client.local_update(&model, &config, 0).unwrap();
+        assert_eq!(a, b, "same inputs must give identical updates");
+        assert_ne!(
+            a.theta,
+            model.trainable_vector(FreezeLevel::Moderate),
+            "local training must move the trainable parameters"
+        );
+    }
+
+    #[test]
+    fn selection_fraction_reduces_selected_and_cost() {
+        let client = Client::new(0, client_dataset(40, 3));
+        let model = global_model();
+        let full = client.local_update(&model, &quick_config(), 0).unwrap();
+        let reduced_cfg = quick_config()
+            .with_selection(SelectionStrategy::Random { fraction: 0.1 });
+        let reduced = client.local_update(&model, &reduced_cfg, 0).unwrap();
+        assert_eq!(reduced.selected_samples, 4);
+        assert!(reduced.compute_seconds < full.compute_seconds);
+    }
+
+    #[test]
+    fn entropy_selection_costs_more_than_random_for_same_fraction() {
+        let client = Client::new(0, client_dataset(40, 4));
+        let model = global_model();
+        let rds = quick_config().with_selection(SelectionStrategy::Random { fraction: 0.25 });
+        let eds = quick_config().with_selection(SelectionStrategy::Entropy {
+            fraction: 0.25,
+            temperature: 0.1,
+        });
+        let rds_update = client.local_update(&model, &rds, 0).unwrap();
+        let eds_update = client.local_update(&model, &eds, 0).unwrap();
+        assert_eq!(rds_update.selected_samples, eds_update.selected_samples);
+        assert!(
+            eds_update.compute_seconds > rds_update.compute_seconds,
+            "entropy selection must pay for its inference pass"
+        );
+    }
+
+    #[test]
+    fn fedprox_stays_closer_to_the_global_model_than_fedavg() {
+        let client = Client::new(0, client_dataset(30, 5));
+        let model = global_model();
+        let theta0 = model.trainable_vector(FreezeLevel::Moderate);
+        let fedavg = client.local_update(&model, &quick_config(), 0).unwrap();
+        let fedprox_cfg = quick_config().with_algorithm(LocalAlgorithm::FedProx { mu: 10.0 });
+        let fedprox = client.local_update(&model, &fedprox_cfg, 0).unwrap();
+        let d_avg = fedavg.theta.distance_sq(&theta0).unwrap();
+        let d_prox = fedprox.theta.distance_sq(&theta0).unwrap();
+        assert!(
+            d_prox < d_avg,
+            "strong proximal term must keep θ closer to the global model ({d_prox} vs {d_avg})"
+        );
+    }
+
+    #[test]
+    fn classifier_only_update_is_cheaper_than_full_update() {
+        let client = Client::new(0, client_dataset(30, 6));
+        let model = global_model();
+        let full_cfg = quick_config().with_freeze(FreezeLevel::Full);
+        let head_cfg = quick_config().with_freeze(FreezeLevel::Classifier);
+        let full = client.local_update(&model, &full_cfg, 0).unwrap();
+        let head = client.local_update(&model, &head_cfg, 0).unwrap();
+        assert!(head.compute_seconds < full.compute_seconds);
+        assert!(head.theta.len() < full.theta.len());
+    }
+}

@@ -1,0 +1,214 @@
+//! Communication-cost accounting.
+//!
+//! Besides compute, the paper argues FedFT reduces the *communication*
+//! overhead: because the feature extractor `ϕ` is frozen and identical on
+//! every client, only the upper part `θ` is exchanged each round. This module
+//! quantifies that saving: it models the bytes a client uploads/downloads per
+//! round as a function of the freeze level, and provides a compact wire
+//! encoding of a [`ClientUpdate`] so the saving can also be demonstrated
+//! end-to-end.
+
+use crate::client::ClientUpdate;
+use crate::{FlError, Result};
+use fedft_nn::{BlockNet, FreezeLevel, ParamVector};
+use serde::{Deserialize, Serialize};
+
+/// Bytes used to encode one `f32` parameter on the wire.
+const BYTES_PER_PARAM: usize = 4;
+/// Fixed per-message header bytes: client id (8), selected count (8), local
+/// count (8), train loss (4), compute seconds (8), payload length (8).
+const HEADER_BYTES: usize = 44;
+
+/// Per-round communication volume for one client, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTraffic {
+    /// Bytes downloaded from the server (the trainable part of the global
+    /// model).
+    pub download_bytes: usize,
+    /// Bytes uploaded to the server (the updated trainable part plus the
+    /// update metadata).
+    pub upload_bytes: usize,
+}
+
+impl RoundTraffic {
+    /// Total bytes exchanged in the round.
+    pub fn total_bytes(&self) -> usize {
+        self.download_bytes + self.upload_bytes
+    }
+}
+
+/// Computes the per-round traffic of a client training `model` under the
+/// given freeze level.
+///
+/// Only the trainable parameters are exchanged; the frozen feature extractor
+/// is distributed once before federated learning starts and never again,
+/// exactly as in the paper's setup.
+pub fn round_traffic(model: &BlockNet, freeze: FreezeLevel) -> RoundTraffic {
+    let trainable = model.trainable_parameter_count(freeze);
+    RoundTraffic {
+        download_bytes: trainable * BYTES_PER_PARAM + HEADER_BYTES,
+        upload_bytes: trainable * BYTES_PER_PARAM + HEADER_BYTES,
+    }
+}
+
+/// Ratio of per-round traffic between two freeze levels (e.g. FedFT's
+/// `Moderate` versus FedAvg's `Full`); values below `1.0` mean the first
+/// level communicates less.
+pub fn traffic_ratio(model: &BlockNet, numerator: FreezeLevel, denominator: FreezeLevel) -> f64 {
+    let a = round_traffic(model, numerator).total_bytes() as f64;
+    let b = round_traffic(model, denominator).total_bytes() as f64;
+    a / b
+}
+
+/// Compact little-endian wire encoding of a [`ClientUpdate`].
+///
+/// Layout: `client_id (u64) | selected (u64) | local (u64) | train_loss (f32)
+/// | compute_seconds (f64) | theta_len (u64) | theta (f32 × len)`.
+pub fn encode_update(update: &ClientUpdate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + update.theta.len() * BYTES_PER_PARAM);
+    out.extend_from_slice(&(update.client_id as u64).to_le_bytes());
+    out.extend_from_slice(&(update.selected_samples as u64).to_le_bytes());
+    out.extend_from_slice(&(update.local_samples as u64).to_le_bytes());
+    out.extend_from_slice(&update.train_loss.to_le_bytes());
+    out.extend_from_slice(&update.compute_seconds.to_le_bytes());
+    out.extend_from_slice(&(update.theta.len() as u64).to_le_bytes());
+    for value in update.theta.values() {
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`ClientUpdate`] previously encoded with [`encode_update`].
+///
+/// # Errors
+///
+/// Returns [`FlError::InvalidConfig`] when the buffer is truncated or its
+/// declared length is inconsistent with the payload.
+pub fn decode_update(bytes: &[u8]) -> Result<ClientUpdate> {
+    let mut cursor = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        if cursor + n > bytes.len() {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "truncated update message: needed {} bytes at offset {cursor}, have {}",
+                    n,
+                    bytes.len()
+                ),
+            });
+        }
+        let slice = &bytes[cursor..cursor + n];
+        cursor += n;
+        Ok(slice)
+    };
+
+    let client_id = u64::from_le_bytes(take(8)?.try_into().expect("slice length checked")) as usize;
+    let selected_samples =
+        u64::from_le_bytes(take(8)?.try_into().expect("slice length checked")) as usize;
+    let local_samples =
+        u64::from_le_bytes(take(8)?.try_into().expect("slice length checked")) as usize;
+    let train_loss = f32::from_le_bytes(take(4)?.try_into().expect("slice length checked"));
+    let compute_seconds = f64::from_le_bytes(take(8)?.try_into().expect("slice length checked"));
+    let theta_len = u64::from_le_bytes(take(8)?.try_into().expect("slice length checked")) as usize;
+    let payload = take(theta_len * BYTES_PER_PARAM)?;
+    if cursor != bytes.len() {
+        return Err(FlError::InvalidConfig {
+            what: format!(
+                "trailing {} bytes after the update payload",
+                bytes.len() - cursor
+            ),
+        });
+    }
+    let values = payload
+        .chunks_exact(BYTES_PER_PARAM)
+        .map(|chunk| f32::from_le_bytes(chunk.try_into().expect("chunk is 4 bytes")))
+        .collect();
+    Ok(ClientUpdate {
+        client_id,
+        theta: ParamVector::from_values(values),
+        selected_samples,
+        local_samples,
+        train_loss,
+        compute_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedft_nn::BlockNetConfig;
+
+    fn model() -> BlockNet {
+        BlockNet::new(&BlockNetConfig::new(8, 5).with_hidden(16, 16, 16), 1)
+    }
+
+    fn update() -> ClientUpdate {
+        ClientUpdate {
+            client_id: 3,
+            theta: ParamVector::from_values(vec![0.5, -1.25, 3.0]),
+            selected_samples: 12,
+            local_samples: 120,
+            train_loss: 0.75,
+            compute_seconds: 1.5,
+        }
+    }
+
+    #[test]
+    fn traffic_shrinks_with_freezing() {
+        let m = model();
+        let full = round_traffic(&m, FreezeLevel::Full);
+        let moderate = round_traffic(&m, FreezeLevel::Moderate);
+        let classifier = round_traffic(&m, FreezeLevel::Classifier);
+        assert!(full.total_bytes() > moderate.total_bytes());
+        assert!(moderate.total_bytes() > classifier.total_bytes());
+        assert_eq!(full.download_bytes, full.upload_bytes);
+    }
+
+    #[test]
+    fn traffic_matches_parameter_counts() {
+        let m = model();
+        let traffic = round_traffic(&m, FreezeLevel::Moderate);
+        let expected = m.trainable_parameter_count(FreezeLevel::Moderate) * BYTES_PER_PARAM
+            + HEADER_BYTES;
+        assert_eq!(traffic.download_bytes, expected);
+    }
+
+    #[test]
+    fn traffic_ratio_is_below_one_for_partial_finetuning() {
+        let m = model();
+        let ratio = traffic_ratio(&m, FreezeLevel::Moderate, FreezeLevel::Full);
+        assert!(ratio < 1.0);
+        assert!(ratio > 0.0);
+        let identity = traffic_ratio(&m, FreezeLevel::Full, FreezeLevel::Full);
+        assert!((identity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let original = update();
+        let bytes = encode_update(&original);
+        assert_eq!(bytes.len(), HEADER_BYTES + 3 * BYTES_PER_PARAM);
+        let decoded = decode_update(&bytes).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_padded_messages() {
+        let bytes = encode_update(&update());
+        assert!(decode_update(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_update(&bytes[..10]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_update(&padded).is_err());
+        assert!(decode_update(&[]).is_err());
+    }
+
+    #[test]
+    fn encoded_size_tracks_freeze_level_in_a_real_update() {
+        let m = model();
+        let mut small = update();
+        small.theta = m.trainable_vector(FreezeLevel::Classifier);
+        let mut large = update();
+        large.theta = m.trainable_vector(FreezeLevel::Full);
+        assert!(encode_update(&small).len() < encode_update(&large).len());
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulation configuration.
+
+use crate::selection::SelectionStrategy;
+use crate::{CostModel, FlError, Result};
+use fedft_nn::{FreezeLevel, SgdConfig};
+use serde::{Deserialize, Serialize};
+
+/// The local objective optimised on clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LocalAlgorithm {
+    /// Plain local SGD on the local loss (FedAvg-style local updates).
+    FedAvg,
+    /// FedProx: local loss plus a proximal term `μ/2‖w − w_global‖²` that
+    /// keeps local updates close to the global model.
+    FedProx {
+        /// Proximal coefficient μ.
+        mu: f32,
+    },
+}
+
+impl LocalAlgorithm {
+    /// Short name used in reports.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            LocalAlgorithm::FedAvg => "fedavg",
+            LocalAlgorithm::FedProx { .. } => "fedprox",
+        }
+    }
+}
+
+/// Full configuration of one federated-learning simulation run.
+///
+/// Defaults follow the paper's experimental setup: 50 rounds, `E = 5` local
+/// epochs, SGD with learning rate 0.1 and momentum 0.5, the upper part of the
+/// model trainable (`FreezeLevel::Moderate`), full client participation, and
+/// no data selection (plain FedAvg). Use [`crate::Method`] to obtain the
+/// configuration of each named method in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Number of communication rounds `T`.
+    pub rounds: usize,
+    /// Local update epochs `E` per round.
+    pub local_epochs: usize,
+    /// Mini-batch size for local updates.
+    pub batch_size: usize,
+    /// Local optimiser hyper-parameters.
+    pub sgd: SgdConfig,
+    /// Which part of the model clients train.
+    pub freeze: FreezeLevel,
+    /// Local data selection strategy.
+    pub selection: SelectionStrategy,
+    /// Local objective (FedAvg or FedProx).
+    pub algorithm: LocalAlgorithm,
+    /// Fraction of the client pool that participates each round
+    /// (`fn` in the paper's straggler experiments). `1.0` means full
+    /// participation.
+    pub participation: f64,
+    /// Cost model converting work to simulated client seconds.
+    pub cost: CostModel,
+    /// Master seed controlling every stochastic component of the run.
+    pub seed: u64,
+    /// Run client updates on multiple OS threads. Results are identical
+    /// either way; this only affects wall-clock time of the simulation.
+    pub parallel: bool,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            rounds: 50,
+            local_epochs: 5,
+            batch_size: 32,
+            sgd: SgdConfig::default(),
+            freeze: FreezeLevel::Moderate,
+            selection: SelectionStrategy::All,
+            algorithm: LocalAlgorithm::FedAvg,
+            participation: 1.0,
+            cost: CostModel::default(),
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+impl FlConfig {
+    /// Sets the number of communication rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the number of local epochs.
+    pub fn with_local_epochs(mut self, epochs: usize) -> Self {
+        self.local_epochs = epochs;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the participation fraction.
+    pub fn with_participation(mut self, participation: f64) -> Self {
+        self.participation = participation;
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the freeze level.
+    pub fn with_freeze(mut self, freeze: FreezeLevel) -> Self {
+        self.freeze = freeze;
+        self
+    }
+
+    /// Sets the local algorithm.
+    pub fn with_algorithm(mut self, algorithm: LocalAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Disables multi-threaded client updates.
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for zero rounds/epochs/batch size,
+    /// a participation fraction outside `(0, 1]`, an invalid optimiser
+    /// configuration, an invalid selection strategy or a non-positive
+    /// FedProx μ.
+    pub fn validate(&self) -> Result<()> {
+        if self.rounds == 0 {
+            return Err(FlError::InvalidConfig {
+                what: "rounds must be non-zero".into(),
+            });
+        }
+        if self.local_epochs == 0 {
+            return Err(FlError::InvalidConfig {
+                what: "local_epochs must be non-zero".into(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(FlError::InvalidConfig {
+                what: "batch_size must be non-zero".into(),
+            });
+        }
+        if !(self.participation > 0.0 && self.participation <= 1.0) {
+            return Err(FlError::InvalidConfig {
+                what: format!("participation must be in (0, 1], got {}", self.participation),
+            });
+        }
+        if let LocalAlgorithm::FedProx { mu } = self.algorithm {
+            if !(mu.is_finite() && mu > 0.0) {
+                return Err(FlError::InvalidConfig {
+                    what: format!("FedProx mu must be positive, got {mu}"),
+                });
+            }
+        }
+        self.sgd.validate().map_err(FlError::from)?;
+        self.selection.validate()?;
+        self.cost.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = FlConfig::default();
+        assert_eq!(c.rounds, 50);
+        assert_eq!(c.local_epochs, 5);
+        assert_eq!(c.sgd.learning_rate, 0.1);
+        assert_eq!(c.sgd.momentum, 0.5);
+        assert_eq!(c.freeze, FreezeLevel::Moderate);
+        assert_eq!(c.participation, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = FlConfig::default()
+            .with_rounds(7)
+            .with_local_epochs(2)
+            .with_seed(42)
+            .with_participation(0.2)
+            .with_batch_size(8)
+            .with_freeze(FreezeLevel::Classifier)
+            .with_algorithm(LocalAlgorithm::FedProx { mu: 0.01 })
+            .with_selection(SelectionStrategy::Random { fraction: 0.1 })
+            .serial();
+        assert_eq!(c.rounds, 7);
+        assert_eq!(c.local_epochs, 2);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.participation, 0.2);
+        assert_eq!(c.batch_size, 8);
+        assert_eq!(c.freeze, FreezeLevel::Classifier);
+        assert!(!c.parallel);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(FlConfig::default().with_rounds(0).validate().is_err());
+        assert!(FlConfig::default().with_local_epochs(0).validate().is_err());
+        assert!(FlConfig::default().with_batch_size(0).validate().is_err());
+        assert!(FlConfig::default().with_participation(0.0).validate().is_err());
+        assert!(FlConfig::default().with_participation(1.5).validate().is_err());
+        assert!(FlConfig::default()
+            .with_algorithm(LocalAlgorithm::FedProx { mu: 0.0 })
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_selection(SelectionStrategy::Random { fraction: 0.0 })
+            .validate()
+            .is_err());
+        let mut c = FlConfig::default();
+        c.sgd.learning_rate = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(LocalAlgorithm::FedAvg.short_name(), "fedavg");
+        assert_eq!(LocalAlgorithm::FedProx { mu: 0.1 }.short_name(), "fedprox");
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic training-time cost model.
+//!
+//! The paper's learning-efficiency metric divides the best test accuracy by
+//! the *total client training time in seconds* measured on the authors'
+//! hardware. This reproduction has no such hardware, so client time is
+//! modelled deterministically from the amount of work performed:
+//!
+//! * the forward+backward FLOPs of the trainable part of the model plus the
+//!   forward FLOPs of the frozen part, per sample, per local epoch,
+//! * plus the selection overhead: one forward pass over the entire local
+//!   dataset for entropy-based selection (the paper notes this overhead when
+//!   comparing FedFT-EDS to FedFT-RDS in Figure 7),
+//! * divided by a nominal device throughput to express the result in
+//!   simulated seconds.
+//!
+//! Because every method uses the same device throughput, all *ratios* between
+//! methods — which is what Figures 6 and 7 compare — depend only on the work
+//! counts, exactly as in the paper.
+
+use crate::{FlError, Result};
+use fedft_nn::flops::FlopsBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Converts per-sample FLOP counts into simulated client seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Simulated device throughput in FLOP/s. The default (50 MFLOP/s of
+    /// effective training throughput) models a constrained IoT-class edge
+    /// device.
+    pub device_flops_per_second: f64,
+    /// Fixed per-round overhead in seconds (model download/upload handling,
+    /// process wake-up). Applied once per participating client per round.
+    pub per_round_overhead_seconds: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            device_flops_per_second: 5.0e7,
+            per_round_overhead_seconds: 0.002,
+        }
+    }
+}
+
+impl CostModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for a non-positive throughput or a
+    /// negative overhead.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.device_flops_per_second.is_finite() && self.device_flops_per_second > 0.0) {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "device_flops_per_second must be positive, got {}",
+                    self.device_flops_per_second
+                ),
+            });
+        }
+        if !(self.per_round_overhead_seconds.is_finite() && self.per_round_overhead_seconds >= 0.0)
+        {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "per_round_overhead_seconds must be non-negative, got {}",
+                    self.per_round_overhead_seconds
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Simulated seconds for one client's local round.
+    ///
+    /// * `flops` — per-sample FLOP breakdown of the model under the client's
+    ///   freeze level,
+    /// * `local_samples` — size of the client's full local dataset,
+    /// * `selected_samples` — number of samples actually trained on,
+    /// * `epochs` — local epochs `E`,
+    /// * `selection_pass` — whether a full-dataset inference pass was needed
+    ///   to select the data (entropy-based selection).
+    pub fn client_round_seconds(
+        &self,
+        flops: &FlopsBreakdown,
+        local_samples: usize,
+        selected_samples: usize,
+        epochs: usize,
+        selection_pass: bool,
+    ) -> f64 {
+        let training_flops =
+            flops.training_flops() as f64 * selected_samples as f64 * epochs as f64;
+        let selection_flops = if selection_pass {
+            flops.inference_flops() as f64 * local_samples as f64
+        } else {
+            0.0
+        };
+        (training_flops + selection_flops) / self.device_flops_per_second
+            + self.per_round_overhead_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flops() -> FlopsBreakdown {
+        FlopsBreakdown {
+            forward_frozen: 1_000,
+            forward_trainable: 500,
+            backward_trainable: 1_000,
+        }
+    }
+
+    #[test]
+    fn default_is_valid() {
+        assert!(CostModel::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let bad = CostModel {
+            device_flops_per_second: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CostModel {
+            per_round_overhead_seconds: -1.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fewer_selected_samples_cost_less() {
+        let cost = CostModel::default();
+        let all = cost.client_round_seconds(&flops(), 100, 100, 5, false);
+        let subset = cost.client_round_seconds(&flops(), 100, 10, 5, false);
+        assert!(subset < all);
+        // The ratio approaches the sample ratio once the fixed overhead is
+        // subtracted.
+        let fixed = cost.per_round_overhead_seconds;
+        assert!(((all - fixed) / (subset - fixed) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn selection_pass_adds_overhead() {
+        let cost = CostModel::default();
+        let without = cost.client_round_seconds(&flops(), 100, 10, 5, false);
+        let with = cost.client_round_seconds(&flops(), 100, 10, 5, true);
+        assert!(with > without);
+        let expected_extra = flops().inference_flops() as f64 * 100.0 / cost.device_flops_per_second;
+        assert!((with - without - expected_extra).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_training_is_cheaper_than_full_training() {
+        // Same selected samples, smaller trainable part -> fewer FLOPs -> less time.
+        let cost = CostModel::default();
+        let full = FlopsBreakdown {
+            forward_frozen: 0,
+            forward_trainable: 1_500,
+            backward_trainable: 3_000,
+        };
+        let partial = FlopsBreakdown {
+            forward_frozen: 1_000,
+            forward_trainable: 500,
+            backward_trainable: 1_000,
+        };
+        let t_full = cost.client_round_seconds(&full, 50, 50, 5, false);
+        let t_partial = cost.client_round_seconds(&partial, 50, 50, 5, false);
+        assert!(t_partial < t_full);
+    }
+
+    #[test]
+    fn zero_work_costs_only_the_overhead() {
+        let cost = CostModel::default();
+        let t = cost.client_round_seconds(&FlopsBreakdown::default(), 0, 0, 5, false);
+        assert!((t - cost.per_round_overhead_seconds).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-sample entropy scoring with the hardened softmax (paper §III-E).
+//!
+//! The entropy-based data selector performs one forward pass over a client's
+//! local data, converts the logits to probabilities with a temperature-scaled
+//! softmax (Equation 6 of the paper; ρ < 1 "hardens" the distribution) and
+//! computes the Shannon entropy of each sample (Equation 3). High-entropy
+//! samples are the ones the model is most uncertain about and therefore the
+//! most valuable to train on.
+
+use crate::{FlError, Result};
+use fedft_nn::BlockNet;
+use fedft_tensor::{stats, Matrix};
+
+/// Default hardened-softmax temperature used by the paper (ρ = 0.1).
+pub const DEFAULT_TEMPERATURE: f32 = 0.1;
+
+/// Computes the per-sample Shannon entropy of `model`'s predictions on
+/// `features`, using a softmax with temperature `temperature`.
+///
+/// # Errors
+///
+/// Returns an error when the features are empty or the temperature is not a
+/// positive finite number.
+pub fn sample_entropies(
+    model: &mut BlockNet,
+    features: &Matrix,
+    temperature: f32,
+) -> Result<Vec<f32>> {
+    if features.rows() == 0 {
+        return Err(FlError::InvalidConfig {
+            what: "cannot compute entropies of an empty feature matrix".into(),
+        });
+    }
+    if !(temperature.is_finite() && temperature > 0.0) {
+        return Err(FlError::InvalidConfig {
+            what: format!("softmax temperature must be positive, got {temperature}"),
+        });
+    }
+    let probabilities = model.predict_proba(features, temperature)?;
+    Ok(stats::row_entropies(&probabilities))
+}
+
+/// Returns the indices of `entropies` sorted by decreasing entropy
+/// (most-uncertain first). Ties are broken by the original index so the
+/// ordering is fully deterministic.
+pub fn rank_by_entropy(entropies: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..entropies.len()).collect();
+    order.sort_by(|&a, &b| {
+        entropies[b]
+            .partial_cmp(&entropies[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// A histogram of entropy values, used to reproduce the entropy-distribution
+/// panel of Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyHistogram {
+    /// Inclusive lower edge of the first bin.
+    pub min: f32,
+    /// Exclusive upper edge of the last bin.
+    pub max: f32,
+    /// Number of samples falling into each bin.
+    pub counts: Vec<usize>,
+}
+
+impl EntropyHistogram {
+    /// Builds a histogram with `bins` equal-width bins spanning
+    /// `[0, ln(num_classes)]`, the achievable entropy range for
+    /// `num_classes`-way predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero bins or fewer than two classes.
+    pub fn from_entropies(entropies: &[f32], num_classes: usize, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(FlError::InvalidConfig {
+                what: "histogram needs at least one bin".into(),
+            });
+        }
+        if num_classes < 2 {
+            return Err(FlError::InvalidConfig {
+                what: "entropy histogram needs at least two classes".into(),
+            });
+        }
+        let max = (num_classes as f32).ln();
+        let mut counts = vec![0usize; bins];
+        for &h in entropies {
+            let clamped = h.clamp(0.0, max);
+            let mut bin = ((clamped / max) * bins as f32) as usize;
+            if bin == bins {
+                bin -= 1;
+            }
+            counts[bin] += 1;
+        }
+        Ok(EntropyHistogram {
+            min: 0.0,
+            max,
+            counts,
+        })
+    }
+
+    /// Fraction of samples in the top `tail_bins` bins (the high-entropy
+    /// tail).
+    pub fn high_entropy_fraction(&self, tail_bins: usize) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail = tail_bins.min(self.counts.len());
+        let tail_count: usize = self.counts[self.counts.len() - tail..].iter().sum();
+        tail_count as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedft_nn::BlockNetConfig;
+    use fedft_tensor::rng;
+    use rand::Rng;
+
+    fn model() -> BlockNet {
+        BlockNet::new(&BlockNetConfig::new(8, 5).with_hidden(12, 12, 12), 3)
+    }
+
+    fn random_features(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut r = rng::rng_for(seed, "entropy-test");
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| r.gen::<f32>() * 2.0 - 1.0).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn entropies_are_bounded_by_log_num_classes() {
+        let mut m = model();
+        let x = random_features(20, 8, 1);
+        let h = sample_entropies(&mut m, &x, 1.0).unwrap();
+        assert_eq!(h.len(), 20);
+        let bound = (5.0_f32).ln() + 1e-4;
+        assert!(h.iter().all(|&v| v >= 0.0 && v <= bound));
+    }
+
+    #[test]
+    fn hardened_softmax_lowers_mean_entropy() {
+        let mut m = model();
+        let x = random_features(50, 8, 2);
+        let h_standard = sample_entropies(&mut m, &x, 1.0).unwrap();
+        let h_hardened = sample_entropies(&mut m, &x, 0.1).unwrap();
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&h_hardened) < mean(&h_standard),
+            "hardened mean {} should be below standard mean {}",
+            mean(&h_hardened),
+            mean(&h_standard)
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        let mut m = model();
+        assert!(sample_entropies(&mut m, &Matrix::zeros(0, 8), 1.0).is_err());
+        let x = random_features(4, 8, 3);
+        assert!(sample_entropies(&mut m, &x, 0.0).is_err());
+        assert!(sample_entropies(&mut m, &x, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let entropies = vec![0.5, 2.0, 1.0, 2.0, 0.1];
+        let order = rank_by_entropy(&entropies);
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn histogram_counts_all_samples() {
+        let entropies = vec![0.0, 0.1, 0.5, 1.0, 1.5, 1.6];
+        let hist = EntropyHistogram::from_entropies(&entropies, 5, 4).unwrap();
+        assert_eq!(hist.counts.iter().sum::<usize>(), 6);
+        assert!((hist.max - (5.0_f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_tail_fraction() {
+        let entropies = vec![0.0, 0.0, 0.0, 1.6, 1.6];
+        let hist = EntropyHistogram::from_entropies(&entropies, 5, 4).unwrap();
+        let frac = hist.high_entropy_fraction(1);
+        assert!((frac - 0.4).abs() < 1e-9);
+        assert_eq!(hist.high_entropy_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(EntropyHistogram::from_entropies(&[0.1], 5, 0).is_err());
+        assert!(EntropyHistogram::from_entropies(&[0.1], 1, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_shifts_left_with_hardened_softmax() {
+        // The paper's Figure 1: with a lower temperature most samples move to
+        // the low-entropy bins, leaving a thin high-entropy tail.
+        let mut m = model();
+        let x = random_features(200, 8, 9);
+        let standard = sample_entropies(&mut m, &x, 1.0).unwrap();
+        let hardened = sample_entropies(&mut m, &x, 0.1).unwrap();
+        let hist_standard = EntropyHistogram::from_entropies(&standard, 5, 10).unwrap();
+        let hist_hardened = EntropyHistogram::from_entropies(&hardened, 5, 10).unwrap();
+        // Low-entropy mass (first half of the bins) grows under hardening.
+        let low_mass = |h: &EntropyHistogram| h.counts[..5].iter().sum::<usize>();
+        assert!(low_mass(&hist_hardened) > low_mass(&hist_standard));
+    }
+}

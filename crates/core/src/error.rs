@@ -1,0 +1,100 @@
+//! Error type for the federated-learning engine.
+
+use fedft_data::DataError;
+use fedft_nn::NnError;
+use fedft_tensor::TensorError;
+use std::fmt;
+
+/// Error produced by the federated-learning engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A model/optimiser operation failed.
+    Nn(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// The simulation configuration is invalid.
+    InvalidConfig {
+        /// Description of the invalid field.
+        what: String,
+    },
+    /// No clients participated in a round, so nothing could be aggregated.
+    NoParticipants {
+        /// The round in which it happened.
+        round: usize,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FlError::Nn(e) => write!(f, "model error: {e}"),
+            FlError::Data(e) => write!(f, "data error: {e}"),
+            FlError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            FlError::NoParticipants { round } => {
+                write!(f, "no clients participated in round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Tensor(e) => Some(e),
+            FlError::Nn(e) => Some(e),
+            FlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FlError {
+    fn from(value: TensorError) -> Self {
+        FlError::Tensor(value)
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(value: NnError) -> Self {
+        FlError::Nn(value)
+    }
+}
+
+impl From<DataError> for FlError {
+    fn from(value: DataError) -> Self {
+        FlError::Data(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: FlError = TensorError::EmptyMatrix { op: "x" }.into();
+        assert!(e.source().is_some());
+        let e: FlError = NnError::InvalidConfig { what: "lr".into() }.into();
+        assert!(e.to_string().contains("lr"));
+        let e: FlError = DataError::EmptyDataset { op: "split" }.into();
+        assert!(e.to_string().contains("split"));
+    }
+
+    #[test]
+    fn display_for_engine_errors() {
+        assert!(FlError::InvalidConfig { what: "rounds".into() }
+            .to_string()
+            .contains("rounds"));
+        assert!(FlError::NoParticipants { round: 4 }.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlError>();
+    }
+}

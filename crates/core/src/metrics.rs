@@ -1,0 +1,176 @@
+//! Per-round records and run-level summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics recorded after every communication round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index, starting at 1.
+    pub round: usize,
+    /// Global-model top-1 accuracy on the held-out test set, in `[0, 1]`.
+    pub test_accuracy: f32,
+    /// Global-model cross-entropy loss on the test set.
+    pub test_loss: f32,
+    /// Mean of the participating clients' final-epoch training losses.
+    pub mean_train_loss: f32,
+    /// Number of clients that participated in the round.
+    pub participants: usize,
+    /// Total number of samples selected for training across participants.
+    pub selected_samples: usize,
+    /// Simulated client compute seconds spent in this round (summed over
+    /// participants).
+    pub round_client_seconds: f64,
+    /// Cumulative simulated client compute seconds up to and including this
+    /// round.
+    pub cumulative_client_seconds: f64,
+}
+
+/// The result of a complete federated-learning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Human-readable label of the method that produced the run.
+    pub label: String,
+    /// Per-round history, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunResult {
+    /// Creates a run result from a label and per-round records.
+    pub fn new(label: impl Into<String>, rounds: Vec<RoundRecord>) -> Self {
+        RunResult {
+            label: label.into(),
+            rounds,
+        }
+    }
+
+    /// Test accuracy after the final round; `0.0` for an empty run.
+    pub fn final_accuracy(&self) -> f32 {
+        self.rounds.last().map_or(0.0, |r| r.test_accuracy)
+    }
+
+    /// Best test accuracy reached at any round; `0.0` for an empty run.
+    pub fn best_accuracy(&self) -> f32 {
+        self.rounds
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0, f32::max)
+    }
+
+    /// Total simulated client compute seconds over the whole run.
+    pub fn total_client_seconds(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.cumulative_client_seconds)
+    }
+
+    /// The paper's learning-efficiency metric: best test accuracy (in
+    /// percentage points) divided by the total client training time in
+    /// seconds. Returns `0.0` when no time was spent.
+    pub fn learning_efficiency(&self) -> f64 {
+        let seconds = self.total_client_seconds();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        f64::from(self.best_accuracy()) * 100.0 / seconds
+    }
+
+    /// The test-accuracy learning curve, one entry per round.
+    pub fn accuracy_curve(&self) -> Vec<f32> {
+        self.rounds.iter().map(|r| r.test_accuracy).collect()
+    }
+
+    /// First round (1-based) at which the test accuracy reached `target`, or
+    /// `None` if it never did. Used to compare convergence speed.
+    pub fn rounds_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.rounds
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.round)
+    }
+
+    /// Mean test accuracy over the final `k` rounds (robust "end of training"
+    /// accuracy). Returns the final accuracy when `k` is zero or larger than
+    /// the run length.
+    pub fn tail_accuracy(&self, k: usize) -> f32 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        let k = k.clamp(1, self.rounds.len());
+        let tail = &self.rounds[self.rounds.len() - k..];
+        tail.iter().map(|r| r.test_accuracy).sum::<f32>() / k as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: f32, cumulative: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            test_accuracy: acc,
+            test_loss: 1.0 - acc,
+            mean_train_loss: 0.5,
+            participants: 10,
+            selected_samples: 100,
+            round_client_seconds: 1.0,
+            cumulative_client_seconds: cumulative,
+        }
+    }
+
+    fn run() -> RunResult {
+        RunResult::new(
+            "demo",
+            vec![record(1, 0.2, 10.0), record(2, 0.6, 20.0), record(3, 0.5, 30.0)],
+        )
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let r = run();
+        assert_eq!(r.final_accuracy(), 0.5);
+        assert_eq!(r.best_accuracy(), 0.6);
+        assert_eq!(r.total_client_seconds(), 30.0);
+        assert_eq!(r.accuracy_curve(), vec![0.2, 0.6, 0.5]);
+        assert_eq!(r.label, "demo");
+    }
+
+    #[test]
+    fn learning_efficiency_uses_best_accuracy_and_total_time() {
+        let r = run();
+        // 60 accuracy points over 30 seconds.
+        assert!((r.learning_efficiency() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunResult::new("empty", vec![]);
+        assert_eq!(r.final_accuracy(), 0.0);
+        assert_eq!(r.best_accuracy(), 0.0);
+        assert_eq!(r.learning_efficiency(), 0.0);
+        assert_eq!(r.rounds_to_accuracy(0.1), None);
+        assert_eq!(r.tail_accuracy(3), 0.0);
+    }
+
+    #[test]
+    fn rounds_to_accuracy_finds_first_crossing() {
+        let r = run();
+        assert_eq!(r.rounds_to_accuracy(0.5), Some(2));
+        assert_eq!(r.rounds_to_accuracy(0.9), None);
+        assert_eq!(r.rounds_to_accuracy(0.0), Some(1));
+    }
+
+    #[test]
+    fn tail_accuracy_averages_last_rounds() {
+        let r = run();
+        assert!((r.tail_accuracy(2) - 0.55).abs() < 1e-6);
+        assert_eq!(r.tail_accuracy(100), r.tail_accuracy(3));
+        assert_eq!(r.tail_accuracy(0), r.tail_accuracy(1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = run();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,120 @@
+//! Client participation / straggler modelling.
+//!
+//! In the paper's 100-client experiments (Table III) FedAvg suffers from
+//! stragglers: only a fraction `fn` of clients manages to complete the heavy
+//! full-model update each round, while FedFT variants assume full
+//! participation because their workload is small enough for every device.
+//! This module models that by sampling a subset of clients uniformly at
+//! random each round.
+
+use crate::{FlError, Result};
+use fedft_tensor::rng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Selects which clients participate in each round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParticipationModel {
+    /// Fraction of the client pool available per round, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl Default for ParticipationModel {
+    fn default() -> Self {
+        ParticipationModel { fraction: 1.0 }
+    }
+}
+
+impl ParticipationModel {
+    /// Creates a participation model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for fractions outside `(0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(FlError::InvalidConfig {
+                what: format!("participation fraction must be in (0, 1], got {fraction}"),
+            });
+        }
+        Ok(ParticipationModel { fraction })
+    }
+
+    /// Number of clients that participate out of `total`.
+    pub fn participants_per_round(&self, total: usize) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        ((self.fraction * total as f64).round() as usize).clamp(1, total)
+    }
+
+    /// Chooses the participating client ids for `round`.
+    ///
+    /// Full participation returns all ids in order; partial participation
+    /// samples without replacement, deterministically in `(seed, round)`.
+    pub fn sample_round(&self, total: usize, round: usize, seed: u64) -> Vec<usize> {
+        let k = self.participants_per_round(total);
+        if k == total {
+            return (0..total).collect();
+        }
+        let mut ids: Vec<usize> = (0..total).collect();
+        let mut r = rng::rng_for_indexed(seed, "participation", round as u64);
+        ids.shuffle(&mut r);
+        ids.truncate(k);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_fraction() {
+        assert!(ParticipationModel::new(0.0).is_err());
+        assert!(ParticipationModel::new(1.2).is_err());
+        assert!(ParticipationModel::new(0.2).is_ok());
+        assert_eq!(ParticipationModel::default().fraction, 1.0);
+    }
+
+    #[test]
+    fn participant_counts() {
+        let p = ParticipationModel::new(0.1).unwrap();
+        assert_eq!(p.participants_per_round(100), 10);
+        assert_eq!(p.participants_per_round(5), 1);
+        assert_eq!(p.participants_per_round(0), 0);
+        assert_eq!(ParticipationModel::default().participants_per_round(7), 7);
+    }
+
+    #[test]
+    fn full_participation_returns_everyone() {
+        let p = ParticipationModel::default();
+        assert_eq!(p.sample_round(4, 3, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partial_participation_is_deterministic_and_varies_by_round() {
+        let p = ParticipationModel::new(0.3).unwrap();
+        let a = p.sample_round(20, 0, 7);
+        let b = p.sample_round(20, 0, 7);
+        let c = p.sample_round(20, 1, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 6);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ids are sorted and unique");
+        assert!(a.iter().all(|&id| id < 20));
+    }
+
+    #[test]
+    fn over_many_rounds_every_client_eventually_participates() {
+        let p = ParticipationModel::new(0.2).unwrap();
+        let mut seen = vec![false; 10];
+        for round in 0..50 {
+            for id in p.sample_round(10, round, 3) {
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some client never participated: {seen:?}");
+    }
+}

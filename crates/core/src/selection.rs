@@ -1,0 +1,264 @@
+//! Per-round local data selection strategies (paper §III-C and §IV-A3).
+
+use crate::entropy::{rank_by_entropy, sample_entropies};
+use crate::{FlError, Result};
+use fedft_data::Dataset;
+use fedft_nn::BlockNet;
+use fedft_tensor::rng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How a client chooses which local samples to train on in a round.
+///
+/// * [`SelectionStrategy::All`] — train on every local sample (FedAvg,
+///   FedProx, FedFT-ALL).
+/// * [`SelectionStrategy::Random`] — uniformly re-sample a fraction `Pds` of
+///   the local data at the start of every round (the `-RDS` baselines).
+/// * [`SelectionStrategy::Entropy`] — the paper's EDS: one forward pass over
+///   the local data, entropy under a hardened softmax, keep the top-`Pds`
+///   most-uncertain samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Use the full local dataset.
+    All,
+    /// Uniform random selection of a fraction of the local data, refreshed
+    /// every round.
+    Random {
+        /// Fraction `Pds ∈ (0, 1]` of local samples to keep.
+        fraction: f64,
+    },
+    /// Entropy-based data selection with a hardened softmax.
+    Entropy {
+        /// Fraction `Pds ∈ (0, 1]` of local samples to keep.
+        fraction: f64,
+        /// Softmax temperature ρ; the paper uses `0.1`.
+        temperature: f32,
+    },
+}
+
+impl SelectionStrategy {
+    /// The fraction of local data the strategy keeps (`1.0` for
+    /// [`SelectionStrategy::All`]).
+    pub fn fraction(&self) -> f64 {
+        match self {
+            SelectionStrategy::All => 1.0,
+            SelectionStrategy::Random { fraction } => *fraction,
+            SelectionStrategy::Entropy { fraction, .. } => *fraction,
+        }
+    }
+
+    /// Returns `true` when the strategy needs a forward pass over the whole
+    /// local dataset (and therefore incurs the selection overhead accounted
+    /// for by the cost model).
+    pub fn needs_inference_pass(&self) -> bool {
+        matches!(self, SelectionStrategy::Entropy { .. })
+    }
+
+    /// Short name used in reports (`all`, `rds`, `eds`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SelectionStrategy::All => "all",
+            SelectionStrategy::Random { .. } => "rds",
+            SelectionStrategy::Entropy { .. } => "eds",
+        }
+    }
+
+    /// Validates the strategy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for fractions outside `(0, 1]` or a
+    /// non-positive temperature.
+    pub fn validate(&self) -> Result<()> {
+        let fraction = self.fraction();
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(FlError::InvalidConfig {
+                what: format!("selection fraction must be in (0, 1], got {fraction}"),
+            });
+        }
+        if let SelectionStrategy::Entropy { temperature, .. } = self {
+            if !(temperature.is_finite() && *temperature > 0.0) {
+                return Err(FlError::InvalidConfig {
+                    what: format!("selection temperature must be positive, got {temperature}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Selects the indices of the local samples to train on this round.
+    ///
+    /// The number of selected samples is `ceil(fraction · |D_k|)`, clamped to
+    /// at least one sample. Entropy selection uses the *current* client model
+    /// (freshly downloaded global model), so the selected subset changes
+    /// between rounds as the model evolves — matching the paper's dynamic
+    /// selection setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty dataset or invalid parameters.
+    pub fn select(
+        &self,
+        model: &mut BlockNet,
+        dataset: &Dataset,
+        round: usize,
+        client_id: usize,
+        seed: u64,
+    ) -> Result<Vec<usize>> {
+        self.validate()?;
+        if dataset.is_empty() {
+            return Err(FlError::InvalidConfig {
+                what: format!("client {client_id} has no local data to select from"),
+            });
+        }
+        let keep = self.selected_count(dataset.len());
+        match self {
+            SelectionStrategy::All => Ok((0..dataset.len()).collect()),
+            SelectionStrategy::Random { .. } => {
+                let mut order: Vec<usize> = (0..dataset.len()).collect();
+                let mut r = rng::rng_for_indexed(
+                    seed,
+                    &format!("rds-client-{client_id}"),
+                    round as u64,
+                );
+                order.shuffle(&mut r);
+                order.truncate(keep);
+                Ok(order)
+            }
+            SelectionStrategy::Entropy { temperature, .. } => {
+                let entropies = sample_entropies(model, dataset.features(), *temperature)?;
+                let mut ranked = rank_by_entropy(&entropies);
+                ranked.truncate(keep);
+                Ok(ranked)
+            }
+        }
+    }
+
+    /// Number of samples the strategy keeps out of `available`.
+    pub fn selected_count(&self, available: usize) -> usize {
+        if available == 0 {
+            return 0;
+        }
+        let keep = (self.fraction() * available as f64).ceil() as usize;
+        keep.clamp(1, available)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedft_nn::BlockNetConfig;
+    use fedft_tensor::Matrix;
+
+    fn model(classes: usize) -> BlockNet {
+        BlockNet::new(&BlockNetConfig::new(4, classes).with_hidden(8, 8, 8), 1)
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let features = Matrix::from_vec(n, 4, (0..n * 4).map(|v| (v % 17) as f32 * 0.1).collect()).unwrap();
+        Dataset::new(features, (0..n).map(|i| i % 3).collect(), 3).unwrap()
+    }
+
+    #[test]
+    fn fractions_and_names() {
+        assert_eq!(SelectionStrategy::All.fraction(), 1.0);
+        assert_eq!(SelectionStrategy::Random { fraction: 0.25 }.fraction(), 0.25);
+        assert_eq!(SelectionStrategy::All.short_name(), "all");
+        assert_eq!(SelectionStrategy::Random { fraction: 0.1 }.short_name(), "rds");
+        assert_eq!(
+            SelectionStrategy::Entropy { fraction: 0.1, temperature: 0.1 }.short_name(),
+            "eds"
+        );
+        assert!(SelectionStrategy::Entropy { fraction: 0.1, temperature: 0.1 }.needs_inference_pass());
+        assert!(!SelectionStrategy::Random { fraction: 0.1 }.needs_inference_pass());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(SelectionStrategy::Random { fraction: 0.0 }.validate().is_err());
+        assert!(SelectionStrategy::Random { fraction: 1.5 }.validate().is_err());
+        assert!(SelectionStrategy::Entropy { fraction: 0.5, temperature: 0.0 }
+            .validate()
+            .is_err());
+        assert!(SelectionStrategy::Entropy { fraction: 0.5, temperature: 0.1 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn selected_count_rounding() {
+        let s = SelectionStrategy::Random { fraction: 0.1 };
+        assert_eq!(s.selected_count(100), 10);
+        assert_eq!(s.selected_count(5), 1);
+        assert_eq!(s.selected_count(1), 1);
+        assert_eq!(s.selected_count(0), 0);
+        assert_eq!(SelectionStrategy::All.selected_count(7), 7);
+    }
+
+    #[test]
+    fn all_selection_returns_every_index() {
+        let mut m = model(3);
+        let d = dataset(6);
+        let idx = SelectionStrategy::All.select(&mut m, &d, 0, 0, 0).unwrap();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_selection_is_per_round_and_deterministic() {
+        let mut m = model(3);
+        let d = dataset(20);
+        let s = SelectionStrategy::Random { fraction: 0.5 };
+        let a = s.select(&mut m, &d, 0, 3, 7).unwrap();
+        let b = s.select(&mut m, &d, 0, 3, 7).unwrap();
+        let c = s.select(&mut m, &d, 1, 3, 7).unwrap();
+        assert_eq!(a, b, "same round and seed must select the same subset");
+        assert_ne!(a, c, "different rounds must resample");
+        assert_eq!(a.len(), 10);
+        // All indices valid and unique.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len());
+        assert!(sorted.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn entropy_selection_picks_highest_entropy_samples() {
+        let mut m = model(3);
+        let d = dataset(30);
+        let s = SelectionStrategy::Entropy { fraction: 0.2, temperature: 0.5 };
+        let selected = s.select(&mut m, &d, 0, 0, 0).unwrap();
+        assert_eq!(selected.len(), 6);
+        let entropies = sample_entropies(&mut m, d.features(), 0.5).unwrap();
+        let min_selected = selected
+            .iter()
+            .map(|&i| entropies[i])
+            .fold(f32::INFINITY, f32::min);
+        let max_unselected = (0..d.len())
+            .filter(|i| !selected.contains(i))
+            .map(|i| entropies[i])
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            min_selected >= max_unselected - 1e-6,
+            "selected samples must dominate unselected ones in entropy"
+        );
+    }
+
+    #[test]
+    fn entropy_selection_is_deterministic() {
+        let mut m = model(3);
+        let d = dataset(15);
+        let s = SelectionStrategy::Entropy { fraction: 0.4, temperature: 0.1 };
+        assert_eq!(
+            s.select(&mut m, &d, 2, 1, 9).unwrap(),
+            s.select(&mut m, &d, 2, 1, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn selection_on_empty_dataset_errors() {
+        let mut m = model(3);
+        let empty = Dataset::empty(4, 3);
+        assert!(SelectionStrategy::All.select(&mut m, &empty, 0, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Server-side aggregation (paper Algorithm 1, lines 11–13, Equation 5).
+
+use crate::client::ClientUpdate;
+use crate::{FlError, Result};
+use fedft_nn::ParamVector;
+
+/// The federated server: collects client updates and produces the next
+/// global trainable parameters.
+///
+/// Aggregation follows Equation 5 of the paper: a weighted average of the
+/// uploaded `θ_k^{t+1}` with weights proportional to the number of *selected*
+/// samples `|D_{k,select}^t|` (not the full local dataset size), normalised
+/// over the participating clients.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Server {
+    _private: (),
+}
+
+impl Server {
+    /// Creates a server.
+    pub fn new() -> Self {
+        Server { _private: () }
+    }
+
+    /// Aggregates client updates into the next global trainable parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoParticipants`] when `updates` is empty (the
+    /// `round` argument is only used for the error message), and an error if
+    /// the uploaded parameter vectors disagree in length.
+    pub fn aggregate(&self, updates: &[ClientUpdate], round: usize) -> Result<ParamVector> {
+        if updates.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        let total_selected: usize = updates.iter().map(|u| u.selected_samples).sum();
+        let entries: Vec<(ParamVector, f32)> = if total_selected == 0 {
+            // Degenerate but possible in adversarial configurations: fall back
+            // to a uniform average.
+            let w = 1.0 / updates.len() as f32;
+            updates.iter().map(|u| (u.theta.clone(), w)).collect()
+        } else {
+            updates
+                .iter()
+                .map(|u| {
+                    (
+                        u.theta.clone(),
+                        u.selected_samples as f32 / total_selected as f32,
+                    )
+                })
+                .collect()
+        };
+        ParamVector::weighted_average(&entries).map_err(FlError::from)
+    }
+
+    /// The aggregation weights that [`Server::aggregate`] would use, exposed
+    /// for reporting and tests.
+    pub fn aggregation_weights(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        let total_selected: usize = updates.iter().map(|u| u.selected_samples).sum();
+        if total_selected == 0 {
+            return vec![1.0 / updates.len().max(1) as f32; updates.len()];
+        }
+        updates
+            .iter()
+            .map(|u| u.selected_samples as f32 / total_selected as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize, theta: Vec<f32>, selected: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            theta: ParamVector::from_values(theta),
+            selected_samples: selected,
+            local_samples: selected * 2,
+            train_loss: 0.5,
+            compute_seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregation_weights_by_selected_samples() {
+        let server = Server::new();
+        let updates = vec![
+            update(0, vec![0.0, 0.0], 10),
+            update(1, vec![4.0, 8.0], 30),
+        ];
+        let theta = server.aggregate(&updates, 0).unwrap();
+        // Weights 0.25 / 0.75.
+        assert_eq!(theta.values(), &[3.0, 6.0]);
+        assert_eq!(server.aggregation_weights(&updates), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn aggregation_of_identical_updates_is_identity() {
+        let server = Server::new();
+        let updates = vec![
+            update(0, vec![1.0, -2.0, 3.0], 5),
+            update(1, vec![1.0, -2.0, 3.0], 17),
+        ];
+        let theta = server.aggregate(&updates, 1).unwrap();
+        for (a, b) in theta.values().iter().zip(&[1.0, -2.0, 3.0]) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn aggregate_stays_within_the_convex_hull() {
+        let server = Server::new();
+        let updates = vec![
+            update(0, vec![0.0], 1),
+            update(1, vec![10.0], 2),
+            update(2, vec![5.0], 3),
+        ];
+        let theta = server.aggregate(&updates, 0).unwrap();
+        assert!(theta.values()[0] >= 0.0 && theta.values()[0] <= 10.0);
+        let weights = server.aggregation_weights(&updates);
+        assert!((weights.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_round_is_an_error() {
+        let server = Server::new();
+        assert!(matches!(
+            server.aggregate(&[], 7).unwrap_err(),
+            FlError::NoParticipants { round: 7 }
+        ));
+    }
+
+    #[test]
+    fn zero_selected_samples_fall_back_to_uniform() {
+        let server = Server::new();
+        let updates = vec![update(0, vec![2.0], 0), update(1, vec![4.0], 0)];
+        let theta = server.aggregate(&updates, 0).unwrap();
+        assert!((theta.values()[0] - 3.0).abs() < 1e-6);
+        assert_eq!(server.aggregation_weights(&updates), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn mismatched_theta_lengths_error() {
+        let server = Server::new();
+        let updates = vec![update(0, vec![1.0, 2.0], 4), update(1, vec![1.0], 4)];
+        assert!(server.aggregate(&updates, 0).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! The synchronous federated-learning round loop (paper Algorithm 1).
+
+use crate::client::{Client, ClientUpdate};
+use crate::config::FlConfig;
+use crate::metrics::{RoundRecord, RunResult};
+use crate::participation::ParticipationModel;
+use crate::server::Server;
+use crate::{FlError, Result};
+use fedft_data::FederatedDataset;
+use fedft_nn::BlockNet;
+
+/// Runs a complete federated-learning simulation.
+///
+/// The simulation owns a validated [`FlConfig`]; [`Simulation::run`] takes
+/// the federated dataset and the initial global model (pretrained or not) and
+/// returns the per-round history.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: FlConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: FlConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Simulation { config })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Runs the simulation with a descriptive label attached to the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any round fails (empty client shard, model/shape
+    /// mismatch, no participants).
+    pub fn run_labelled(
+        &self,
+        label: impl Into<String>,
+        data: &FederatedDataset,
+        initial_model: &BlockNet,
+    ) -> Result<RunResult> {
+        let label = label.into();
+        if data.test().is_empty() {
+            return Err(FlError::InvalidConfig {
+                what: "the federated dataset has an empty test set".into(),
+            });
+        }
+        for (k, shard) in data.clients().iter().enumerate() {
+            if shard.is_empty() {
+                return Err(FlError::InvalidConfig {
+                    what: format!("client {k} has an empty data shard"),
+                });
+            }
+            if shard.feature_dim() != initial_model.input_dim() {
+                return Err(FlError::InvalidConfig {
+                    what: format!(
+                        "client {k} feature dim {} does not match model input dim {}",
+                        shard.feature_dim(),
+                        initial_model.input_dim()
+                    ),
+                });
+            }
+        }
+
+        let clients: Vec<Client> = data
+            .clients()
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| Client::new(k, shard.clone()))
+            .collect();
+        let participation = ParticipationModel::new(self.config.participation)?;
+        let server = Server::new();
+
+        let mut global_model = initial_model.clone();
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        let mut cumulative_seconds = 0.0_f64;
+
+        for round in 0..self.config.rounds {
+            let participant_ids =
+                participation.sample_round(clients.len(), round, self.config.seed);
+            let participants: Vec<&Client> =
+                participant_ids.iter().map(|&id| &clients[id]).collect();
+            let updates = self.run_round(&participants, &global_model, round)?;
+
+            let theta = server.aggregate(&updates, round)?;
+            global_model.set_trainable_vector(self.config.freeze, &theta)?;
+
+            let test_accuracy = global_model
+                .evaluate_accuracy(data.test().features(), data.test().labels())?;
+            let test_loss =
+                global_model.evaluate_loss(data.test().features(), data.test().labels())?;
+            let round_client_seconds: f64 = updates.iter().map(|u| u.compute_seconds).sum();
+            cumulative_seconds += round_client_seconds;
+            let mean_train_loss = updates.iter().map(|u| u.train_loss).sum::<f32>()
+                / updates.len().max(1) as f32;
+            let selected_samples = updates.iter().map(|u| u.selected_samples).sum();
+
+            rounds.push(RoundRecord {
+                round: round + 1,
+                test_accuracy,
+                test_loss,
+                mean_train_loss,
+                participants: updates.len(),
+                selected_samples,
+                round_client_seconds,
+                cumulative_client_seconds: cumulative_seconds,
+            });
+        }
+        Ok(RunResult::new(label, rounds))
+    }
+
+    /// Runs the simulation with an automatically generated label.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::run_labelled`].
+    pub fn run(&self, data: &FederatedDataset, initial_model: &BlockNet) -> Result<RunResult> {
+        let label = format!(
+            "{}-{}-{}",
+            self.config.algorithm.short_name(),
+            self.config.selection.short_name(),
+            self.config.freeze
+        );
+        self.run_labelled(label, data, initial_model)
+    }
+
+    /// Executes the local updates of one round, in parallel when configured.
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        round: usize,
+    ) -> Result<Vec<ClientUpdate>> {
+        if participants.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        if !self.config.parallel || participants.len() == 1 {
+            return participants
+                .iter()
+                .map(|client| client.local_update(global_model, &self.config, round))
+                .collect();
+        }
+
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(participants.len());
+        let chunk_size = participants.len().div_ceil(threads);
+        let mut results: Vec<Result<Vec<ClientUpdate>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in participants.chunks(chunk_size) {
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|client| client.local_update(global_model, config, round))
+                        .collect::<Result<Vec<ClientUpdate>>>()
+                }));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("client update thread panicked"));
+            }
+        });
+        let mut updates = Vec::with_capacity(participants.len());
+        for chunk in results {
+            updates.extend(chunk?);
+        }
+        Ok(updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::Method;
+    use crate::selection::SelectionStrategy;
+    use fedft_data::federated::PartitionScheme;
+    use fedft_data::{domains, Dataset};
+    use fedft_nn::BlockNetConfig;
+
+    fn tiny_setup(num_clients: usize) -> (FederatedDataset, BlockNet) {
+        let bundle = domains::cifar10_like()
+            .with_samples_per_class(12)
+            .with_test_samples_per_class(4)
+            .generate(5)
+            .unwrap();
+        let fed = FederatedDataset::partition(
+            &bundle.train,
+            bundle.test.clone(),
+            num_clients,
+            PartitionScheme::Dirichlet { alpha: 0.5 },
+            7,
+        )
+        .unwrap();
+        let model_cfg = BlockNetConfig::new(bundle.train.feature_dim(), 10).with_hidden(16, 16, 16);
+        let model = BlockNet::new(&model_cfg, 3);
+        (fed, model)
+    }
+
+    fn quick_config(rounds: usize) -> FlConfig {
+        FlConfig::default()
+            .with_rounds(rounds)
+            .with_local_epochs(1)
+            .with_batch_size(16)
+            .serial()
+    }
+
+    #[test]
+    fn run_produces_one_record_per_round() {
+        let (fed, model) = tiny_setup(4);
+        let sim = Simulation::new(quick_config(3)).unwrap();
+        let result = sim.run(&fed, &model).unwrap();
+        assert_eq!(result.rounds.len(), 3);
+        assert!(result.rounds.iter().all(|r| r.participants == 4));
+        assert!(result.total_client_seconds() > 0.0);
+        assert!(result.rounds.windows(2).all(|w| w[0].round + 1 == w[1].round));
+        assert!(result
+            .rounds
+            .windows(2)
+            .all(|w| w[1].cumulative_client_seconds >= w[0].cumulative_client_seconds));
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        let (fed, model) = tiny_setup(4);
+        let serial = Simulation::new(quick_config(2)).unwrap().run(&fed, &model).unwrap();
+        let mut parallel_cfg = quick_config(2);
+        parallel_cfg.parallel = true;
+        let parallel = Simulation::new(parallel_cfg).unwrap().run(&fed, &model).unwrap();
+        assert_eq!(serial.rounds, parallel.rounds);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let (fed, model) = tiny_setup(3);
+        let a = Simulation::new(quick_config(2).with_seed(1)).unwrap().run(&fed, &model).unwrap();
+        let b = Simulation::new(quick_config(2).with_seed(1)).unwrap().run(&fed, &model).unwrap();
+        let c = Simulation::new(quick_config(2).with_seed(2)).unwrap().run(&fed, &model).unwrap();
+        assert_eq!(a.rounds, b.rounds);
+        assert_ne!(a.rounds, c.rounds);
+    }
+
+    #[test]
+    fn partial_participation_uses_fewer_clients() {
+        let (fed, model) = tiny_setup(8);
+        let sim = Simulation::new(quick_config(2).with_participation(0.25)).unwrap();
+        let result = sim.run(&fed, &model).unwrap();
+        assert!(result.rounds.iter().all(|r| r.participants == 2));
+    }
+
+    #[test]
+    fn federated_training_improves_over_the_initial_model() {
+        let (fed, mut model) = tiny_setup(4);
+        let initial_acc = model
+            .evaluate_accuracy(fed.test().features(), fed.test().labels())
+            .unwrap();
+        let config = Method::FedFtEds { pds: 0.5 }.configure(quick_config(10).with_local_epochs(2));
+        let result = Simulation::new(config).unwrap().run(&fed, &model).unwrap();
+        assert!(
+            result.best_accuracy() > initial_acc,
+            "FL did not improve over the initial model: {} vs {initial_acc}",
+            result.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn selection_strategy_reduces_selected_samples() {
+        let (fed, model) = tiny_setup(4);
+        let all = Simulation::new(quick_config(1)).unwrap().run(&fed, &model).unwrap();
+        let ten_percent = Simulation::new(
+            quick_config(1).with_selection(SelectionStrategy::Random { fraction: 0.1 }),
+        )
+        .unwrap()
+        .run(&fed, &model)
+        .unwrap();
+        assert!(ten_percent.rounds[0].selected_samples < all.rounds[0].selected_samples);
+    }
+
+    #[test]
+    fn empty_shard_and_mismatched_model_are_rejected() {
+        let (fed, model) = tiny_setup(3);
+        // Model with the wrong input width.
+        let bad_model = BlockNet::new(&BlockNetConfig::new(5, 10).with_hidden(8, 8, 8), 0);
+        let sim = Simulation::new(quick_config(1)).unwrap();
+        assert!(sim.run(&fed, &bad_model).is_err());
+
+        // Dataset with an empty shard.
+        let empty_shard = Dataset::empty(fed.test().feature_dim(), 10);
+        let shards = vec![fed.client(0).clone(), empty_shard];
+        let bad_fed = FederatedDataset::from_shards(
+            shards,
+            fed.test().clone(),
+            PartitionScheme::Iid,
+        )
+        .unwrap();
+        assert!(sim.run(&bad_fed, &model).is_err());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_at_construction() {
+        assert!(Simulation::new(quick_config(0)).is_err());
+        assert!(Simulation::new(quick_config(1).with_participation(2.0)).is_err());
+    }
+
+    #[test]
+    fn run_label_mentions_algorithm_and_selection() {
+        let (fed, model) = tiny_setup(2);
+        let config = Method::FedFtEds { pds: 0.5 }.configure(quick_config(1));
+        let result = Simulation::new(config).unwrap().run(&fed, &model).unwrap();
+        assert!(result.label.contains("eds"));
+        assert!(result.label.contains("fedavg"));
+    }
+}

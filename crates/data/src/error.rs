@@ -1,0 +1,99 @@
+//! Error type for dataset construction and partitioning.
+
+use fedft_tensor::TensorError;
+use std::fmt;
+
+/// Error produced by dataset construction, generation or partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Features and labels disagreed in length.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label was outside `0..num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Declared number of classes.
+        num_classes: usize,
+    },
+    /// A configuration value was invalid (zero clients, non-positive alpha…).
+    InvalidConfig {
+        /// Description of the invalid value.
+        what: String,
+    },
+    /// An operation required a non-empty dataset.
+    EmptyDataset {
+        /// Human-readable name of the operation.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::LengthMismatch { features, labels } => write!(
+                f,
+                "features/labels length mismatch: {features} feature rows vs {labels} labels"
+            ),
+            DataError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DataError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            DataError::EmptyDataset { op } => write!(f, "operation `{op}` requires a non-empty dataset"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(value: TensorError) -> Self {
+        DataError::Tensor(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_facts() {
+        assert!(DataError::LengthMismatch { features: 3, labels: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(DataError::LabelOutOfRange { label: 9, num_classes: 4 }
+            .to_string()
+            .contains('9'));
+        assert!(DataError::InvalidConfig { what: "alpha".into() }
+            .to_string()
+            .contains("alpha"));
+        assert!(DataError::EmptyDataset { op: "split" }.to_string().contains("split"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        use std::error::Error;
+        let e: DataError = TensorError::EmptyMatrix { op: "x" }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

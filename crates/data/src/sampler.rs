@@ -1,0 +1,122 @@
+//! Mini-batch sampling over a dataset.
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use fedft_tensor::{rng, Matrix};
+use rand::seq::SliceRandom;
+
+/// A mini-batch of features and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Feature rows of the batch.
+    pub features: Matrix,
+    /// Labels aligned with the feature rows.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Deterministic shuffling batch sampler.
+///
+/// Each call to [`BatchSampler::epoch_batches`] reshuffles the dataset with a
+/// seed derived from the sampler seed and the epoch index, then yields
+/// consecutive chunks of at most `batch_size` samples.
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    batch_size: usize,
+    seed: u64,
+}
+
+impl BatchSampler {
+    /// Creates a sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] for a zero batch size.
+    pub fn new(batch_size: usize, seed: u64) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig {
+                what: "batch_size must be non-zero".into(),
+            });
+        }
+        Ok(BatchSampler { batch_size, seed })
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Produces the shuffled batches for one epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when the dataset has no samples.
+    pub fn epoch_batches(&self, dataset: &Dataset, epoch: u64) -> Result<Vec<Batch>> {
+        if dataset.is_empty() {
+            return Err(DataError::EmptyDataset { op: "epoch_batches" });
+        }
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut r = rng::rng_for_indexed(self.seed, "batch-sampler", epoch);
+        order.shuffle(&mut r);
+        let mut batches = Vec::with_capacity(order.len().div_ceil(self.batch_size));
+        for chunk in order.chunks(self.batch_size) {
+            batches.push(Batch {
+                features: dataset.features().select_rows(chunk),
+                labels: chunk.iter().map(|&i| dataset.labels()[i]).collect(),
+            });
+        }
+        Ok(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_vec(10, 2, (0..20).map(|v| v as f32).collect()).unwrap();
+        Dataset::new(features, (0..10).map(|i| i % 2).collect(), 2).unwrap()
+    }
+
+    #[test]
+    fn batches_cover_dataset_exactly_once() {
+        let sampler = BatchSampler::new(3, 1).unwrap();
+        let batches = sampler.epoch_batches(&toy(), 0).unwrap();
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[3].len(), 1);
+        assert!(!batches[0].is_empty());
+    }
+
+    #[test]
+    fn different_epochs_shuffle_differently() {
+        let sampler = BatchSampler::new(4, 1).unwrap();
+        let a = sampler.epoch_batches(&toy(), 0).unwrap();
+        let b = sampler.epoch_batches(&toy(), 1).unwrap();
+        assert_ne!(a[0].labels, b[0].labels);
+        // Same epoch is reproducible.
+        let a2 = sampler.epoch_batches(&toy(), 0).unwrap();
+        assert_eq!(a[0], a2[0]);
+    }
+
+    #[test]
+    fn invalid_configurations_error() {
+        assert!(BatchSampler::new(0, 1).is_err());
+        let sampler = BatchSampler::new(2, 1).unwrap();
+        assert!(sampler.epoch_batches(&Dataset::empty(2, 2), 0).is_err());
+        assert_eq!(sampler.batch_size(), 2);
+    }
+}

@@ -1,0 +1,538 @@
+//! Block-structured network mirroring the paper's WRN layer groups.
+
+use crate::flops::FlopsBreakdown;
+use crate::freeze::FreezeLevel;
+use crate::layers::{Dense, Relu};
+use crate::loss::SoftmaxCrossEntropy;
+use crate::optimizer::Sgd;
+use crate::params::ParamVector;
+use crate::sequential::Sequential;
+use crate::{NnError, Result};
+use fedft_tensor::{stats, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a layer group inside a [`BlockNet`].
+///
+/// These correspond to the paper's *low*, *mid* and *up* layer groups of the
+/// WRN (used for the CKA analysis of Figures 2–4) plus the classifier head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockId {
+    /// Lowest layer group (first part of the feature extractor).
+    Low,
+    /// Middle layer group.
+    Mid,
+    /// Upper layer group.
+    Up,
+    /// Classifier head producing logits.
+    Classifier,
+}
+
+impl BlockId {
+    /// All block identifiers in forward order.
+    pub fn all() -> [BlockId; 4] {
+        [BlockId::Low, BlockId::Mid, BlockId::Up, BlockId::Classifier]
+    }
+
+    /// Position of the block in forward order.
+    pub fn index(self) -> usize {
+        match self {
+            BlockId::Low => 0,
+            BlockId::Mid => 1,
+            BlockId::Up => 2,
+            BlockId::Classifier => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            BlockId::Low => "low",
+            BlockId::Mid => "mid",
+            BlockId::Up => "up",
+            BlockId::Classifier => "classifier",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Configuration of a [`BlockNet`].
+///
+/// The defaults give a small model suitable for fast simulation; the
+/// experiment harness widens it for paper-scale runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockNetConfig {
+    /// Number of input features.
+    pub input_dim: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Width of the low block.
+    pub hidden_low: usize,
+    /// Width of the mid block.
+    pub hidden_mid: usize,
+    /// Width of the up block.
+    pub hidden_up: usize,
+}
+
+impl BlockNetConfig {
+    /// Creates a configuration with default hidden widths (64/64/64).
+    pub fn new(input_dim: usize, num_classes: usize) -> Self {
+        BlockNetConfig {
+            input_dim,
+            num_classes,
+            hidden_low: 64,
+            hidden_mid: 64,
+            hidden_up: 64,
+        }
+    }
+
+    /// Overrides the three hidden widths.
+    pub fn with_hidden(mut self, low: usize, mid: usize, up: usize) -> Self {
+        self.hidden_low = low;
+        self.hidden_mid = mid;
+        self.hidden_up = up;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if any dimension is zero.
+    pub fn validate(&self) -> Result<()> {
+        for (name, value) in [
+            ("input_dim", self.input_dim),
+            ("num_classes", self.num_classes),
+            ("hidden_low", self.hidden_low),
+            ("hidden_mid", self.hidden_mid),
+            ("hidden_up", self.hidden_up),
+        ] {
+            if value == 0 {
+                return Err(NnError::InvalidConfig {
+                    what: format!("{name} must be non-zero"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A four-block feed-forward network: low → mid → up → classifier.
+///
+/// The lower blocks play the role of the paper's pretrained feature extractor
+/// `ϕ`; the upper blocks are the trainable part `θ`. Which blocks belong to
+/// `θ` is decided per call through a [`FreezeLevel`], so the same model
+/// supports FedAvg (train everything), FedFT (train the upper part only) and
+/// the Figure 10a ablation.
+#[derive(Debug, Clone)]
+pub struct BlockNet {
+    config: BlockNetConfig,
+    blocks: Vec<Sequential>,
+    loss: SoftmaxCrossEntropy,
+}
+
+impl BlockNet {
+    /// Builds a network from a configuration and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`BlockNetConfig::validate`] to check it beforehand when the values
+    /// come from user input.
+    pub fn new(config: &BlockNetConfig, seed: u64) -> Self {
+        config.validate().expect("invalid BlockNetConfig");
+        let low = Sequential::new()
+            .push(Box::new(Dense::new(config.input_dim, config.hidden_low, seed)))
+            .push(Box::new(Relu::new(config.hidden_low)));
+        let mid = Sequential::new()
+            .push(Box::new(Dense::new(config.hidden_low, config.hidden_mid, seed.wrapping_add(1))))
+            .push(Box::new(Relu::new(config.hidden_mid)));
+        let up = Sequential::new()
+            .push(Box::new(Dense::new(config.hidden_mid, config.hidden_up, seed.wrapping_add(2))))
+            .push(Box::new(Relu::new(config.hidden_up)));
+        let classifier = Sequential::new().push(Box::new(Dense::new(
+            config.hidden_up,
+            config.num_classes,
+            seed.wrapping_add(3),
+        )));
+        BlockNet {
+            config: *config,
+            blocks: vec![low, mid, up, classifier],
+            loss: SoftmaxCrossEntropy::new(),
+        }
+    }
+
+    /// The configuration used to build the network.
+    pub fn config(&self) -> &BlockNetConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Number of input features.
+    pub fn input_dim(&self) -> usize {
+        self.config.input_dim
+    }
+
+    /// Inference forward pass producing logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width differs from
+    /// [`BlockNet::input_dim`].
+    pub fn forward(&mut self, input: &Matrix) -> Result<Matrix> {
+        self.forward_internal(input, false)
+    }
+
+    /// Training-mode forward pass producing logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width differs from
+    /// [`BlockNet::input_dim`].
+    pub fn forward_training(&mut self, input: &Matrix) -> Result<Matrix> {
+        self.forward_internal(input, true)
+    }
+
+    fn forward_internal(&mut self, input: &Matrix, training: bool) -> Result<Matrix> {
+        let mut current = input.clone();
+        for block in &mut self.blocks {
+            current = block.forward(&current, training)?;
+        }
+        Ok(current)
+    }
+
+    /// Forward pass that also returns the activation at the output of every
+    /// block, used by the CKA analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width differs from
+    /// [`BlockNet::input_dim`].
+    pub fn forward_collect(&mut self, input: &Matrix) -> Result<Vec<(BlockId, Matrix)>> {
+        let mut current = input.clone();
+        let mut collected = Vec::with_capacity(self.blocks.len());
+        for (id, block) in BlockId::all().iter().zip(self.blocks.iter_mut()) {
+            current = block.forward(&current, false)?;
+            collected.push((*id, current.clone()));
+        }
+        Ok(collected)
+    }
+
+    /// Class-probability output using a softmax with the given temperature.
+    ///
+    /// A temperature below `1.0` is the paper's hardened softmax used for
+    /// entropy-based data selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn predict_proba(&mut self, input: &Matrix, temperature: f32) -> Result<Matrix> {
+        let logits = self.forward(input)?;
+        Ok(stats::softmax_with_temperature(&logits, temperature)?)
+    }
+
+    /// Top-1 accuracy on `(input, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn evaluate_accuracy(&mut self, input: &Matrix, labels: &[usize]) -> Result<f32> {
+        let logits = self.forward(input)?;
+        Ok(stats::accuracy(&logits, labels)?)
+    }
+
+    /// Mean cross-entropy loss on `(input, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or invalid labels.
+    pub fn evaluate_loss(&mut self, input: &Matrix, labels: &[usize]) -> Result<f32> {
+        let logits = self.forward(input)?;
+        self.loss.loss(&logits, labels)
+    }
+
+    /// Performs one training step on a batch and returns the batch loss.
+    ///
+    /// The backward pass stops at the freeze boundary: gradients never flow
+    /// into frozen blocks, mirroring the compute saving of partial
+    /// fine-tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch, invalid labels, or optimiser
+    /// misconfiguration.
+    pub fn train_batch(
+        &mut self,
+        input: &Matrix,
+        labels: &[usize],
+        optimizer: &mut Sgd,
+        freeze: FreezeLevel,
+    ) -> Result<f32> {
+        let logits = self.forward_training(input)?;
+        let (loss_value, mut grad) = self.loss.forward_backward(&logits, labels)?;
+
+        let first_trainable = freeze.frozen_blocks();
+        for block in &mut self.blocks[first_trainable..] {
+            block.zero_grads();
+        }
+        // Backward through trainable blocks only, in reverse order.
+        for block in self.blocks[first_trainable..].iter_mut().rev() {
+            grad = block.backward(&grad)?;
+        }
+        let grads: Vec<Matrix> = self.blocks[first_trainable..]
+            .iter()
+            .flat_map(|b| b.grads().into_iter().cloned())
+            .collect();
+        let mut params: Vec<&mut Matrix> = self.blocks[first_trainable..]
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect();
+        let grad_refs: Vec<&Matrix> = grads.iter().collect();
+        optimizer.step(&mut params, &grad_refs)?;
+        Ok(loss_value)
+    }
+
+    /// Number of trainable scalar parameters under a freeze level.
+    pub fn trainable_parameter_count(&self, freeze: FreezeLevel) -> usize {
+        self.blocks[freeze.frozen_blocks()..]
+            .iter()
+            .map(|b| b.parameter_count())
+            .sum()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn total_parameter_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.parameter_count()).sum()
+    }
+
+    /// Flattens the trainable part of the model (`θ`) into a vector.
+    pub fn trainable_vector(&self, freeze: FreezeLevel) -> ParamVector {
+        let params: Vec<&Matrix> = self.blocks[freeze.frozen_blocks()..]
+            .iter()
+            .flat_map(|b| b.params())
+            .collect();
+        ParamVector::from_params(&params)
+    }
+
+    /// Writes a flattened trainable vector (`θ`) back into the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLengthMismatch`] when the vector length does
+    /// not match the trainable parameter count.
+    pub fn set_trainable_vector(&mut self, freeze: FreezeLevel, vector: &ParamVector) -> Result<()> {
+        let mut params: Vec<&mut Matrix> = self.blocks[freeze.frozen_blocks()..]
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect();
+        vector.write_to(&mut params)
+    }
+
+    /// Flattens every parameter of the model (`ϕ` and `θ`).
+    pub fn full_vector(&self) -> ParamVector {
+        self.trainable_vector(FreezeLevel::Full)
+    }
+
+    /// Writes a full parameter vector back into the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLengthMismatch`] when the vector length does
+    /// not match the total parameter count.
+    pub fn set_full_vector(&mut self, vector: &ParamVector) -> Result<()> {
+        self.set_trainable_vector(FreezeLevel::Full, vector)
+    }
+
+    /// FLOP breakdown for one sample under a freeze level.
+    pub fn flops_per_sample(&self, freeze: FreezeLevel) -> FlopsBreakdown {
+        let boundary = freeze.frozen_blocks();
+        let forward_frozen: u64 = self.blocks[..boundary]
+            .iter()
+            .map(|b| b.forward_flops_per_sample())
+            .sum();
+        let forward_trainable: u64 = self.blocks[boundary..]
+            .iter()
+            .map(|b| b.forward_flops_per_sample())
+            .sum();
+        let backward_trainable: u64 = self.blocks[boundary..]
+            .iter()
+            .map(|b| b.backward_flops_per_sample())
+            .sum();
+        FlopsBreakdown {
+            forward_frozen,
+            forward_trainable,
+            backward_trainable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::SgdConfig;
+
+    fn config() -> BlockNetConfig {
+        BlockNetConfig::new(6, 3).with_hidden(8, 8, 8)
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let mut net = BlockNet::new(&config(), 1);
+        let x = Matrix::zeros(4, 6);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), (4, 3));
+        assert_eq!(net.num_classes(), 3);
+        assert_eq!(net.input_dim(), 6);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_dims() {
+        let bad = BlockNetConfig::new(0, 3);
+        assert!(bad.validate().is_err());
+        let bad = BlockNetConfig::new(4, 3).with_hidden(0, 8, 8);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn trainable_parameter_count_decreases_with_freezing() {
+        let net = BlockNet::new(&config(), 1);
+        let counts: Vec<usize> = FreezeLevel::all()
+            .iter()
+            .map(|f| net.trainable_parameter_count(*f))
+            .collect();
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        assert_eq!(counts[0], net.total_parameter_count());
+    }
+
+    #[test]
+    fn trainable_vector_roundtrip() {
+        let net = BlockNet::new(&config(), 2);
+        let mut other = BlockNet::new(&config(), 99);
+        let theta = net.trainable_vector(FreezeLevel::Moderate);
+        other.set_trainable_vector(FreezeLevel::Moderate, &theta).unwrap();
+        assert_eq!(other.trainable_vector(FreezeLevel::Moderate), theta);
+        // The frozen part of `other` remains different from `net`'s.
+        assert_ne!(other.full_vector(), net.full_vector());
+    }
+
+    #[test]
+    fn full_vector_roundtrip_makes_models_identical() {
+        let mut net = BlockNet::new(&config(), 2);
+        let mut other = BlockNet::new(&config(), 99);
+        other.set_full_vector(&net.full_vector()).unwrap();
+        let x = Matrix::full(3, 6, 0.5);
+        assert!(net.forward(&x).unwrap().approx_eq(&other.forward(&x).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn set_trainable_vector_rejects_wrong_length() {
+        let mut net = BlockNet::new(&config(), 2);
+        let bad = ParamVector::from_values(vec![0.0; 3]);
+        assert!(net.set_trainable_vector(FreezeLevel::Classifier, &bad).is_err());
+    }
+
+    #[test]
+    fn frozen_blocks_do_not_change_during_training() {
+        let mut net = BlockNet::new(&config(), 5);
+        let frozen_before = {
+            let params: Vec<&Matrix> = net.blocks[..2].iter().flat_map(|b| b.params()).collect();
+            ParamVector::from_params(&params)
+        };
+        let mut sgd = Sgd::new(SgdConfig::default()).unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.1]]).unwrap();
+        for _ in 0..10 {
+            net.train_batch(&x, &[1], &mut sgd, FreezeLevel::Moderate).unwrap();
+        }
+        let frozen_after = {
+            let params: Vec<&Matrix> = net.blocks[..2].iter().flat_map(|b| b.params()).collect();
+            ParamVector::from_params(&params)
+        };
+        assert_eq!(frozen_before, frozen_after);
+        // The trainable part did change.
+        assert_ne!(
+            net.trainable_vector(FreezeLevel::Moderate),
+            BlockNet::new(&config(), 5).trainable_vector(FreezeLevel::Moderate)
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = BlockNet::new(&config(), 11);
+        let mut sgd = Sgd::new(SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        })
+        .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let labels = [0usize, 1, 2];
+        let before = net.evaluate_loss(&x, &labels).unwrap();
+        for _ in 0..100 {
+            net.train_batch(&x, &labels, &mut sgd, FreezeLevel::Full).unwrap();
+        }
+        let after = net.evaluate_loss(&x, &labels).unwrap();
+        assert!(after < before * 0.5, "loss {before} -> {after}");
+        assert!(net.evaluate_accuracy(&x, &labels).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn forward_collect_returns_all_blocks() {
+        let mut net = BlockNet::new(&config(), 3);
+        let x = Matrix::zeros(2, 6);
+        let acts = net.forward_collect(&x).unwrap();
+        assert_eq!(acts.len(), 4);
+        assert_eq!(acts[0].0, BlockId::Low);
+        assert_eq!(acts[3].0, BlockId::Classifier);
+        assert_eq!(acts[0].1.shape(), (2, 8));
+        assert_eq!(acts[3].1.shape(), (2, 3));
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let mut net = BlockNet::new(&config(), 3);
+        let x = Matrix::full(3, 6, 0.2);
+        let p = net.predict_proba(&x, 0.1).unwrap();
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn flops_decrease_with_more_freezing() {
+        let net = BlockNet::new(&config(), 1);
+        let full = net.flops_per_sample(FreezeLevel::Full).training_flops();
+        let moderate = net.flops_per_sample(FreezeLevel::Moderate).training_flops();
+        let classifier = net.flops_per_sample(FreezeLevel::Classifier).training_flops();
+        assert!(full > moderate);
+        assert!(moderate > classifier);
+        // Inference cost is identical regardless of freezing.
+        assert_eq!(
+            net.flops_per_sample(FreezeLevel::Full).inference_flops(),
+            net.flops_per_sample(FreezeLevel::Classifier).inference_flops()
+        );
+    }
+
+    #[test]
+    fn block_id_ordering() {
+        assert_eq!(BlockId::Low.index(), 0);
+        assert_eq!(BlockId::Classifier.index(), 3);
+        assert_eq!(BlockId::Mid.to_string(), "mid");
+    }
+
+    #[test]
+    fn wrong_input_width_is_an_error() {
+        let mut net = BlockNet::new(&config(), 1);
+        assert!(net.forward(&Matrix::zeros(2, 5)).is_err());
+    }
+}

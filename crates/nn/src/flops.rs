@@ -1,0 +1,80 @@
+//! FLOP accounting used by the training-time cost model.
+//!
+//! The paper's learning-efficiency metric (Figures 6 and 7) divides the best
+//! global accuracy by the *total client training time*. In this reproduction
+//! wall-clock time on the authors' testbed is replaced by a deterministic
+//! FLOP-based cost model; this module provides the building blocks, and
+//! `fedft-core::cost` converts FLOPs to simulated seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// FLOP counts for one sample processed by a model under a given freeze
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlopsBreakdown {
+    /// Forward FLOPs through the frozen blocks (always paid, even when only
+    /// fine-tuning the upper part, because activations must flow through).
+    pub forward_frozen: u64,
+    /// Forward FLOPs through the trainable blocks.
+    pub forward_trainable: u64,
+    /// Backward FLOPs through the trainable blocks (the frozen part is never
+    /// back-propagated through, which is where FedFT saves compute).
+    pub backward_trainable: u64,
+}
+
+impl FlopsBreakdown {
+    /// Total FLOPs for one training step on one sample
+    /// (forward everywhere + backward through the trainable part).
+    pub fn training_flops(&self) -> u64 {
+        self.forward_frozen + self.forward_trainable + self.backward_trainable
+    }
+
+    /// Total FLOPs for one inference pass on one sample, e.g. the selection
+    /// forward pass used by entropy-based data selection.
+    pub fn inference_flops(&self) -> u64 {
+        self.forward_frozen + self.forward_trainable
+    }
+
+    /// Sums two breakdowns component-wise.
+    pub fn combine(&self, other: &FlopsBreakdown) -> FlopsBreakdown {
+        FlopsBreakdown {
+            forward_frozen: self.forward_frozen + other.forward_frozen,
+            forward_trainable: self.forward_trainable + other.forward_trainable,
+            backward_trainable: self.backward_trainable + other.backward_trainable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let b = FlopsBreakdown {
+            forward_frozen: 100,
+            forward_trainable: 50,
+            backward_trainable: 120,
+        };
+        assert_eq!(b.training_flops(), 270);
+        assert_eq!(b.inference_flops(), 150);
+    }
+
+    #[test]
+    fn combine_is_componentwise() {
+        let a = FlopsBreakdown {
+            forward_frozen: 1,
+            forward_trainable: 2,
+            backward_trainable: 3,
+        };
+        let b = a.combine(&a);
+        assert_eq!(b.forward_frozen, 2);
+        assert_eq!(b.forward_trainable, 4);
+        assert_eq!(b.backward_trainable, 6);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(FlopsBreakdown::default().training_flops(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Freeze levels controlling which part of the model clients fine-tune.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which part of a [`crate::BlockNet`] is trainable during local updates.
+///
+/// The paper's WRN is organised in layer groups; FedFT freezes the lower
+/// groups (the pretrained feature extractor `ϕ`) and fine-tunes only the
+/// upper part `θ`. The ablation of Figure 10a sweeps exactly these four
+/// settings.
+///
+/// | Variant | Frozen blocks | Trainable blocks |
+/// |---|---|---|
+/// | `Full` | none | low, mid, up, classifier |
+/// | `Large` | low | mid, up, classifier |
+/// | `Moderate` | low, mid | up, classifier |
+/// | `Classifier` | low, mid, up | classifier |
+///
+/// `Moderate` corresponds to the paper's default setting ("fine-tuned from
+/// layer 3, with layer 1 and layer 2 being fixed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FreezeLevel {
+    /// Train the entire model (standard FedAvg/FedProx behaviour).
+    Full,
+    /// Freeze only the lowest block.
+    Large,
+    /// Freeze the lower two blocks; the paper's default FedFT setting.
+    Moderate,
+    /// Freeze everything except the classifier head.
+    Classifier,
+}
+
+impl FreezeLevel {
+    /// Number of leading blocks (out of the four block groups) that are
+    /// frozen.
+    pub fn frozen_blocks(self) -> usize {
+        match self {
+            FreezeLevel::Full => 0,
+            FreezeLevel::Large => 1,
+            FreezeLevel::Moderate => 2,
+            FreezeLevel::Classifier => 3,
+        }
+    }
+
+    /// All levels, ordered from most trainable to least trainable. Used by
+    /// the Figure 10a ablation sweep.
+    pub fn all() -> [FreezeLevel; 4] {
+        [
+            FreezeLevel::Full,
+            FreezeLevel::Large,
+            FreezeLevel::Moderate,
+            FreezeLevel::Classifier,
+        ]
+    }
+}
+
+impl Default for FreezeLevel {
+    fn default() -> Self {
+        FreezeLevel::Moderate
+    }
+}
+
+impl fmt::Display for FreezeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FreezeLevel::Full => "full",
+            FreezeLevel::Large => "large",
+            FreezeLevel::Moderate => "moderate",
+            FreezeLevel::Classifier => "classifier",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_block_counts_are_monotone() {
+        let counts: Vec<usize> = FreezeLevel::all().iter().map(|l| l.frozen_blocks()).collect();
+        assert_eq!(counts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_matches_paper_setting() {
+        assert_eq!(FreezeLevel::default(), FreezeLevel::Moderate);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(FreezeLevel::Classifier.to_string(), "classifier");
+        assert_eq!(FreezeLevel::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn serde_roundtrip_names() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<FreezeLevel>();
+    }
+}

@@ -1,0 +1,63 @@
+//! # fedft-nn
+//!
+//! Neural-network substrate for the FedFT-EDS reproduction: layers with
+//! manual forward/backward passes, a block-structured model mirroring the
+//! paper's WRN layer groups, an SGD optimiser with momentum and an optional
+//! FedProx proximal term, parameter (de)serialisation for client/server
+//! communication, FLOP accounting for the training-time cost model, and a
+//! centralised trainer used for pretraining and the "Centralised" baseline.
+//!
+//! The paper trains a WRN-16-1 on CIFAR with PyTorch; this substrate
+//! substitutes a pure-Rust block MLP (plus a full `Conv2d` implementation for
+//! users who want convolutional models) as documented in `DESIGN.md`. The
+//! federated-learning mechanics only require a model that can be split into a
+//! frozen lower part and a trainable upper part, which [`BlockNet`] provides.
+//!
+//! ## Example
+//!
+//! ```
+//! use fedft_nn::{BlockNet, BlockNetConfig, FreezeLevel};
+//! use fedft_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), fedft_nn::NnError> {
+//! let config = BlockNetConfig::new(8, 4).with_hidden(16, 16, 16);
+//! let mut net = BlockNet::new(&config, 42);
+//! let x = Matrix::zeros(2, 8);
+//! let logits = net.forward(&x)?;
+//! assert_eq!(logits.shape(), (2, 4));
+//! assert!(net.trainable_parameter_count(FreezeLevel::Moderate)
+//!     < net.trainable_parameter_count(FreezeLevel::Full));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod block;
+pub mod conv;
+pub mod flops;
+pub mod freeze;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod optimizer;
+pub mod params;
+pub mod sequential;
+pub mod trainer;
+
+pub use block::{BlockId, BlockNet, BlockNetConfig};
+pub use error::NnError;
+pub use freeze::FreezeLevel;
+pub use layer::Layer;
+pub use layers::{BatchNorm1d, Dense, Dropout, Relu};
+pub use loss::SoftmaxCrossEntropy;
+pub use optimizer::{ProximalTerm, Sgd, SgdConfig};
+pub use params::ParamVector;
+pub use sequential::Sequential;
+pub use trainer::{EvalReport, Trainer, TrainerConfig};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,147 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger: the offending shapes or indices are embedded in the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given data whose length does not match the shape.
+    InvalidDimensions {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// An index was outside the bounds of the matrix.
+    IndexOutOfBounds {
+        /// Requested row index.
+        row: usize,
+        /// Requested column index.
+        col: usize,
+        /// Shape of the matrix as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    EmptyMatrix {
+        /// Human readable name of the operation that failed.
+        op: &'static str,
+    },
+    /// A ragged row set was passed to [`crate::Matrix::from_rows`].
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::InvalidDimensions { rows, cols, len } => write!(
+                f,
+                "cannot build a {rows}x{cols} matrix from a buffer of length {len}"
+            ),
+            TensorError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for a {}x{} matrix",
+                shape.0, shape.1
+            ),
+            TensorError::EmptyMatrix { op } => {
+                write!(f, "operation `{op}` requires a non-empty matrix")
+            }
+            TensorError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "ragged rows: row {row} has length {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_invalid_dimensions() {
+        let err = TensorError::InvalidDimensions {
+            rows: 2,
+            cols: 2,
+            len: 3,
+        };
+        assert!(err.to_string().contains("2x2"));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = TensorError::IndexOutOfBounds {
+            row: 5,
+            col: 1,
+            shape: (2, 2),
+        };
+        assert!(err.to_string().contains("(5, 1)"));
+    }
+
+    #[test]
+    fn display_empty_matrix() {
+        let err = TensorError::EmptyMatrix { op: "mean" };
+        assert!(err.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn display_ragged_rows() {
+        let err = TensorError::RaggedRows {
+            expected: 4,
+            found: 2,
+            row: 3,
+        };
+        assert!(err.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TensorError>();
+    }
+}

@@ -1,0 +1,333 @@
+//! Numerically stable statistics: softmax, entropy, argmax, accuracy.
+//!
+//! These routines are used both inside the training loss (`fedft-nn`) and in
+//! the entropy-based data selector (`fedft-core`), which applies a
+//! temperature-scaled ("hardened") softmax before computing Shannon entropy.
+
+use crate::{Matrix, Result, TensorError};
+
+/// Row-wise softmax with temperature.
+///
+/// Each row of `logits` is transformed to `softmax(z / temperature)`. A
+/// temperature below `1.0` is the paper's *hardened* softmax (sharper
+/// distribution), above `1.0` the *softened* softmax used in knowledge
+/// distillation. The computation subtracts the row maximum before
+/// exponentiation for numerical stability.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyMatrix`] for an empty input.
+///
+/// # Panics
+///
+/// Panics if `temperature` is not strictly positive.
+pub fn softmax_with_temperature(logits: &Matrix, temperature: f32) -> Result<Matrix> {
+    assert!(
+        temperature.is_finite() && temperature > 0.0,
+        "softmax temperature must be positive and finite, got {temperature}"
+    );
+    if logits.is_empty() {
+        return Err(TensorError::EmptyMatrix { op: "softmax" });
+    }
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0_f32;
+        let out_row = out.row_mut(r);
+        for (o, &z) in out_row.iter_mut().zip(row.iter()) {
+            let e = ((z - max) / temperature).exp();
+            *o = e;
+            denom += e;
+        }
+        // denom >= 1 because the max element contributes exp(0) = 1.
+        for o in out_row.iter_mut() {
+            *o /= denom;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise softmax at temperature 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyMatrix`] for an empty input.
+pub fn softmax(logits: &Matrix) -> Result<Matrix> {
+    softmax_with_temperature(logits, 1.0)
+}
+
+/// Row-wise log-softmax (numerically stable).
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyMatrix`] for an empty input.
+pub fn log_softmax(logits: &Matrix) -> Result<Matrix> {
+    if logits.is_empty() {
+        return Err(TensorError::EmptyMatrix { op: "log_softmax" });
+    }
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|&z| (z - max).exp()).sum::<f32>().ln() + max;
+        for (o, &z) in out.row_mut(r).iter_mut().zip(row.iter()) {
+            *o = z - log_sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Shannon entropy (natural log) of a single probability vector.
+///
+/// Zero probabilities contribute zero (the `p ln p → 0` limit).
+///
+/// # Example
+///
+/// ```
+/// use fedft_tensor::stats::shannon_entropy;
+///
+/// let uniform = [0.25_f32; 4];
+/// assert!((shannon_entropy(&uniform) - (4.0_f32).ln()).abs() < 1e-6);
+/// assert_eq!(shannon_entropy(&[1.0, 0.0, 0.0]), 0.0);
+/// ```
+pub fn shannon_entropy(probabilities: &[f32]) -> f32 {
+    probabilities
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Row-wise Shannon entropy of a matrix of probability vectors.
+pub fn row_entropies(probabilities: &Matrix) -> Vec<f32> {
+    (0..probabilities.rows())
+        .map(|r| shannon_entropy(probabilities.row(r)))
+        .collect()
+}
+
+/// Index of the largest element in a slice (first one wins on ties).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    let mut best_val = values[0];
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > best_val {
+            best = i;
+            best_val = v;
+        }
+    }
+    best
+}
+
+/// Row-wise argmax (predicted class per sample).
+pub fn argmax_rows(logits: &Matrix) -> Vec<usize> {
+    (0..logits.rows()).map(|r| argmax(logits.row(r))).collect()
+}
+
+/// Top-1 accuracy of `logits` against integer `labels`, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the number of rows differs from
+/// the number of labels, or [`TensorError::EmptyMatrix`] for empty inputs.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> Result<f32> {
+    if logits.rows() == 0 {
+        return Err(TensorError::EmptyMatrix { op: "accuracy" });
+    }
+    if logits.rows() != labels.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "accuracy",
+            lhs: logits.shape(),
+            rhs: (labels.len(), 1),
+        });
+    }
+    let correct = argmax_rows(logits)
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// One-hot encodes integer labels into an `n`×`num_classes` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if any label is `>= num_classes`.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Result<Matrix> {
+    let mut m = Matrix::zeros(labels.len(), num_classes);
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= num_classes {
+            return Err(TensorError::IndexOutOfBounds {
+                row: i,
+                col: label,
+                shape: (labels.len(), num_classes),
+            });
+        }
+        m.set(i, label, 1.0);
+    }
+    Ok(m)
+}
+
+/// Mean of a slice; `0.0` for an empty slice.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+/// Population variance of a slice; `0.0` for slices shorter than two.
+pub fn variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / values.len() as f32
+}
+
+/// Standard deviation of a slice.
+pub fn std_dev(values: &[f32]) -> f32 {
+    variance(values).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0], vec![5.0, 1.0, 1.0]]).unwrap()
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let p = softmax(&logits()).unwrap();
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let p = softmax(&logits()).unwrap();
+        for &v in p.row(1) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let m = Matrix::from_rows(&[vec![1000.0, 1001.0, 999.0]]).unwrap();
+        let p = softmax(&m).unwrap();
+        assert!(p.is_finite());
+        assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hardened_softmax_sharpens_distribution() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0, 0.0]]).unwrap();
+        let p1 = softmax_with_temperature(&m, 1.0).unwrap();
+        let p01 = softmax_with_temperature(&m, 0.1).unwrap();
+        // Lower temperature concentrates probability on the argmax.
+        assert!(p01.get(0, 0) > p1.get(0, 0));
+        assert!(shannon_entropy(p01.row(0)) < shannon_entropy(p1.row(0)));
+    }
+
+    #[test]
+    fn softened_softmax_raises_entropy() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0, 0.0]]).unwrap();
+        let p1 = softmax_with_temperature(&m, 1.0).unwrap();
+        let p5 = softmax_with_temperature(&m, 5.0).unwrap();
+        assert!(shannon_entropy(p5.row(0)) > shannon_entropy(p1.row(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn softmax_rejects_zero_temperature() {
+        let _ = softmax_with_temperature(&logits(), 0.0);
+    }
+
+    #[test]
+    fn softmax_rejects_empty() {
+        assert!(softmax(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let m = logits();
+        let p = softmax(&m).unwrap().map(|v| v.ln());
+        let lp = log_softmax(&m).unwrap();
+        assert!(p.approx_eq(&lp, 1e-5));
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let uniform = vec![0.1_f32; 10];
+        let h = shannon_entropy(&uniform);
+        assert!((h - (10.0_f32).ln()).abs() < 1e-5);
+        assert_eq!(shannon_entropy(&[1.0]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn row_entropies_length() {
+        let p = softmax(&logits()).unwrap();
+        let h = row_entropies(&p);
+        assert_eq!(h.len(), 3);
+        // The uniform row has the maximum entropy of the three.
+        assert!(h[1] >= h[0] && h[1] >= h[2]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        let _ = argmax(&[]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let l = logits();
+        // argmax per row: 2, 0, 0
+        assert_eq!(accuracy(&l, &[2, 0, 0]).unwrap(), 1.0);
+        assert!((accuracy(&l, &[2, 1, 1]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_shape_checks() {
+        let l = logits();
+        assert!(accuracy(&l, &[0, 1]).is_err());
+        assert!(accuracy(&Matrix::zeros(0, 3), &[]).is_err());
+    }
+
+    #[test]
+    fn one_hot_encodes_and_validates() {
+        let m = one_hot(&[0, 2, 1], 3).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 1.0);
+        assert_eq!(m.sum(), 3.0);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&v) - 2.5).abs() < 1e-6);
+        assert!((variance(&v) - 1.25).abs() < 1e-6);
+        assert!((std_dev(&v) - 1.25_f32.sqrt()).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+}

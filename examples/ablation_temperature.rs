@@ -1,0 +1,57 @@
+//! Hardened-softmax temperature ablation (the Figure 10c setting): sweeps the
+//! softmax temperature ρ used by entropy-based data selection and compares
+//! against random selection. Temperatures below 1 ("hardened") make the
+//! high-entropy samples easier to separate and should match or beat random
+//! selection; temperatures above 1 ("softened") blur the ranking.
+//!
+//! Run with: `cargo run --release --example ablation_temperature`
+
+use fedft::core::pretrain::pretrain_global_model;
+use fedft::core::{FlConfig, SelectionStrategy, Simulation};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::BlockNetConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = domains::source_imagenet32()
+        .with_samples_per_class(120)
+        .generate(1)?;
+    let target = domains::cifar100_like().with_samples_per_class(8).generate(2)?;
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        20,
+        PartitionScheme::Dirichlet { alpha: 0.1 },
+        3,
+    )?;
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes());
+    let global = pretrain_global_model(&model_cfg, &source, 20, 7)?;
+
+    let base = FlConfig::default().with_rounds(8).with_seed(17);
+
+    // Baseline: random selection at the same proportion.
+    let rds_config = base
+        .clone()
+        .with_selection(SelectionStrategy::Random { fraction: 0.5 });
+    let rds = Simulation::new(rds_config)?.run_labelled("FedFT-RDS (50%)", &fed, &global)?;
+    println!(
+        "{:<26} best accuracy {:>5.1}%",
+        rds.label,
+        rds.best_accuracy() * 100.0
+    );
+
+    for temperature in [0.01_f32, 0.1, 0.5, 1.0, 2.0, 5.0] {
+        let config = base.clone().with_selection(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature,
+        });
+        let label = format!("FedFT-EDS (50%), rho={temperature}");
+        let result = Simulation::new(config)?.run_labelled(label.clone(), &fed, &global)?;
+        println!(
+            "{:<26} best accuracy {:>5.1}%",
+            label,
+            result.best_accuracy() * 100.0
+        );
+    }
+    Ok(())
+}

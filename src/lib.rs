@@ -1,0 +1,51 @@
+//! # fedft
+//!
+//! Facade crate for the FedFT-EDS reproduction workspace. It re-exports the
+//! individual crates under short module names so that examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` matrices, initialisers and statistics
+//!   (`fedft-tensor`).
+//! * [`nn`] — layers, the block-structured model, SGD and the centralised
+//!   trainer (`fedft-nn`).
+//! * [`data`] — synthetic domains and non-IID partitioning (`fedft-data`).
+//! * [`core`] — the federated-learning engine, FedFT-EDS and every baseline
+//!   (`fedft-core`).
+//! * [`analysis`] — CKA, learning curves and table formatting
+//!   (`fedft-analysis`).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fedft::core::{FlConfig, Method, Simulation};
+//! use fedft::core::pretrain::pretrain_global_model;
+//! use fedft::data::{domains, federated::PartitionScheme, FederatedDataset};
+//! use fedft::nn::BlockNetConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let source = domains::source_imagenet32().with_samples_per_class(50).generate(1)?;
+//! let target = domains::cifar10_like().with_samples_per_class(50).generate(2)?;
+//! let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes());
+//! let global = pretrain_global_model(&model_cfg, &source, 5, 0)?;
+//! let fed = FederatedDataset::partition(
+//!     &target.train,
+//!     target.test.clone(),
+//!     10,
+//!     PartitionScheme::Dirichlet { alpha: 0.1 },
+//!     0,
+//! )?;
+//! let config = Method::FedFtEds { pds: 0.1 }.configure(FlConfig::default().with_rounds(20));
+//! let result = Simulation::new(config)?.run(&fed, &global)?;
+//! println!("best accuracy {:.1}%", result.best_accuracy() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fedft_analysis as analysis;
+pub use fedft_core as core;
+pub use fedft_data as data;
+pub use fedft_nn as nn;
+pub use fedft_tensor as tensor;

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: run miniature federated-learning
+//! experiments end to end through the public facade API and assert the
+//! structural and qualitative properties the paper relies on.
+
+use fedft::core::pretrain::pretrain_global_model;
+use fedft::core::{FlConfig, LocalAlgorithm, Method, SelectionStrategy, Simulation};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, DomainBundle, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig, FreezeLevel};
+
+fn source() -> DomainBundle {
+    domains::source_imagenet32()
+        .with_samples_per_class(40)
+        .with_test_samples_per_class(5)
+        .generate(1)
+        .expect("source generation")
+}
+
+fn target() -> DomainBundle {
+    domains::cifar10_like()
+        .with_samples_per_class(16)
+        .with_test_samples_per_class(8)
+        .generate(2)
+        .expect("target generation")
+}
+
+fn setup(alpha: f64, clients: usize) -> (FederatedDataset, BlockNet, BlockNet) {
+    let source = source();
+    let target = target();
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes())
+        .with_hidden(32, 32, 32);
+    let pretrained =
+        pretrain_global_model(&model_cfg, &source, 10, 5).expect("pretraining succeeds");
+    let scratch = BlockNet::new(&model_cfg, 5);
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        clients,
+        PartitionScheme::Dirichlet { alpha },
+        7,
+    )
+    .expect("partitioning succeeds");
+    (fed, pretrained, scratch)
+}
+
+fn quick_config(rounds: usize) -> FlConfig {
+    FlConfig::default()
+        .with_rounds(rounds)
+        .with_local_epochs(2)
+        .with_batch_size(16)
+        .with_seed(3)
+}
+
+#[test]
+fn fedft_eds_improves_the_global_model_over_rounds() {
+    let (fed, pretrained, _) = setup(0.5, 5);
+    let config = Method::FedFtEds { pds: 0.5 }.configure(quick_config(8));
+    let result = Simulation::new(config)
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    let mut initial = pretrained.clone();
+    let initial_acc = initial
+        .evaluate_accuracy(fed.test().features(), fed.test().labels())
+        .unwrap();
+    assert!(
+        result.best_accuracy() > initial_acc + 0.05,
+        "federated fine-tuning should improve noticeably over the freshly-headed model: {} vs {}",
+        result.best_accuracy(),
+        initial_acc
+    );
+    assert_eq!(result.rounds.len(), 8);
+}
+
+#[test]
+fn entropy_selection_is_no_worse_than_random_selection_on_average() {
+    // The paper's core claim (EDS >= RDS) averaged over a few seeds to avoid
+    // flakiness at miniature scale.
+    let (fed, pretrained, _) = setup(0.1, 5);
+    let mut eds_total = 0.0_f32;
+    let mut rds_total = 0.0_f32;
+    for seed in 0..3 {
+        let base = quick_config(6).with_seed(seed);
+        let eds = Simulation::new(Method::FedFtEds { pds: 0.3 }.configure(base.clone()))
+            .unwrap()
+            .run(&fed, &pretrained)
+            .unwrap();
+        let rds = Simulation::new(Method::FedFtRds { pds: 0.3 }.configure(base))
+            .unwrap()
+            .run(&fed, &pretrained)
+            .unwrap();
+        eds_total += eds.best_accuracy();
+        rds_total += rds.best_accuracy();
+    }
+    // At this miniature scale (5 clients, ~30 samples each) the comparison is
+    // noisy; the full-scale orderings are recorded in EXPERIMENTS.md. Here we
+    // only require entropy selection to stay in the same ballpark as random
+    // selection (within 5 accuracy points on average over the seeds).
+    assert!(
+        eds_total >= rds_total - 0.15,
+        "entropy selection fell far behind random selection: {eds_total} vs {rds_total}"
+    );
+}
+
+#[test]
+fn partial_finetuning_reduces_client_compute_time() {
+    let (fed, pretrained, _) = setup(0.5, 4);
+    let full = Simulation::new(Method::FedAvg.configure(quick_config(3)))
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    let partial = Simulation::new(Method::FedFtAll.configure(quick_config(3)))
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    assert!(
+        partial.total_client_seconds() < full.total_client_seconds(),
+        "fine-tuning only the upper part must cost less simulated client time"
+    );
+    // And selecting 10% of data on top of that reduces it further.
+    let selected = Simulation::new(Method::FedFtEds { pds: 0.1 }.configure(quick_config(3)))
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    assert!(selected.total_client_seconds() < partial.total_client_seconds());
+}
+
+#[test]
+fn learning_efficiency_of_fedft_eds_beats_full_model_fedavg() {
+    let (fed, pretrained, _) = setup(0.5, 5);
+    let fedavg = Simulation::new(Method::FedAvg.configure(quick_config(5)))
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    let eds = Simulation::new(Method::FedFtEds { pds: 0.1 }.configure(quick_config(5)))
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    assert!(
+        eds.learning_efficiency() > fedavg.learning_efficiency(),
+        "FedFT-EDS must gain more accuracy per simulated client second ({} vs {})",
+        eds.learning_efficiency(),
+        fedavg.learning_efficiency()
+    );
+}
+
+#[test]
+fn pretrained_initialisation_beats_training_from_scratch_under_heterogeneity() {
+    let (fed, pretrained, scratch) = setup(0.1, 5);
+    let config = Method::FedAvg.configure(quick_config(8));
+    let with_pretraining = Simulation::new(config.clone())
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    let from_scratch = Simulation::new(config).unwrap().run(&fed, &scratch).unwrap();
+    assert!(
+        with_pretraining.best_accuracy() >= from_scratch.best_accuracy() - 0.02,
+        "pretraining should help (or at least not hurt) under strong heterogeneity: {} vs {}",
+        with_pretraining.best_accuracy(),
+        from_scratch.best_accuracy()
+    );
+}
+
+#[test]
+fn fedprox_runs_and_stays_closer_to_the_global_model() {
+    let (fed, pretrained, _) = setup(0.1, 4);
+    let config = quick_config(3).with_algorithm(LocalAlgorithm::FedProx { mu: 0.1 });
+    let result = Simulation::new(config).unwrap().run(&fed, &pretrained).unwrap();
+    assert_eq!(result.rounds.len(), 3);
+    assert!(result.best_accuracy() > 0.0);
+}
+
+#[test]
+fn straggler_dropout_reduces_participants_but_training_still_progresses() {
+    let (fed, pretrained, _) = setup(0.5, 10);
+    let config = Method::FedAvg
+        .configure(quick_config(6))
+        .with_participation(0.2);
+    let result = Simulation::new(config).unwrap().run(&fed, &pretrained).unwrap();
+    assert!(result.rounds.iter().all(|r| r.participants == 2));
+    assert!(result.best_accuracy() > 0.2);
+}
+
+#[test]
+fn freeze_levels_order_client_cost_and_communication_size() {
+    let (fed, pretrained, _) = setup(0.5, 3);
+    let mut previous_cost = f64::INFINITY;
+    let mut previous_params = usize::MAX;
+    for freeze in [
+        FreezeLevel::Full,
+        FreezeLevel::Large,
+        FreezeLevel::Moderate,
+        FreezeLevel::Classifier,
+    ] {
+        let config = quick_config(2)
+            .with_freeze(freeze)
+            .with_selection(SelectionStrategy::All);
+        let result = Simulation::new(config).unwrap().run(&fed, &pretrained).unwrap();
+        let cost = result.total_client_seconds();
+        let params = pretrained.trainable_parameter_count(freeze);
+        assert!(cost < previous_cost, "more freezing must cost less ({freeze})");
+        assert!(params < previous_params, "more freezing must transport fewer parameters");
+        previous_cost = cost;
+        previous_params = params;
+    }
+}
+
+#[test]
+fn simulations_are_reproducible_across_parallel_and_serial_execution() {
+    let (fed, pretrained, _) = setup(0.5, 4);
+    let serial = Simulation::new(Method::FedFtEds { pds: 0.5 }.configure(quick_config(3)).serial())
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    let parallel = Simulation::new(Method::FedFtEds { pds: 0.5 }.configure(quick_config(3)))
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
+    assert_eq!(serial.rounds, parallel.rounds);
+}
