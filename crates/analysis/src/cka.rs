@@ -174,7 +174,10 @@ mod tests {
         let x = random_activations(200, 10, 5);
         let y = random_activations(200, 10, 6);
         let value = linear_cka(&x, &y).unwrap();
-        assert!(value < 0.4, "independent random features should have low CKA, got {value}");
+        assert!(
+            value < 0.4,
+            "independent random features should have low CKA, got {value}"
+        );
     }
 
     #[test]
@@ -200,10 +203,10 @@ mod tests {
             random_activations(15, 5, 3),
         ];
         let m = pairwise_cka_matrix(&acts).unwrap();
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
             }
         }
         let mean = mean_offdiagonal(&m);
@@ -232,11 +235,28 @@ mod tests {
         let cfg = BlockNetConfig::new(6, 3).with_hidden(8, 12, 16);
         let mut model = BlockNet::new(&cfg, 1);
         let inputs = random_activations(5, 6, 11);
-        assert_eq!(block_activation(&mut model, &inputs, BlockId::Low).unwrap().cols(), 8);
-        assert_eq!(block_activation(&mut model, &inputs, BlockId::Mid).unwrap().cols(), 12);
-        assert_eq!(block_activation(&mut model, &inputs, BlockId::Up).unwrap().cols(), 16);
         assert_eq!(
-            block_activation(&mut model, &inputs, BlockId::Classifier).unwrap().cols(),
+            block_activation(&mut model, &inputs, BlockId::Low)
+                .unwrap()
+                .cols(),
+            8
+        );
+        assert_eq!(
+            block_activation(&mut model, &inputs, BlockId::Mid)
+                .unwrap()
+                .cols(),
+            12
+        );
+        assert_eq!(
+            block_activation(&mut model, &inputs, BlockId::Up)
+                .unwrap()
+                .cols(),
+            16
+        );
+        assert_eq!(
+            block_activation(&mut model, &inputs, BlockId::Classifier)
+                .unwrap()
+                .cols(),
             3
         );
     }

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn efficiency_points_extract_summaries() {
-        let runs = vec![run("fast", &[0.4, 0.6], 1.0), run("slow", &[0.5, 0.7], 10.0)];
+        let runs = vec![
+            run("fast", &[0.4, 0.6], 1.0),
+            run("slow", &[0.5, 0.7], 10.0),
+        ];
         let points = efficiency_points(&runs);
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].label, "fast");

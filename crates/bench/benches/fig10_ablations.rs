@@ -10,8 +10,11 @@ fn bench_finetuned_part(c: &mut Criterion) {
     let profile = ExperimentProfile::tiny();
     c.bench_function("fig10a_finetuned_part_tiny_profile", |bencher| {
         bencher.iter(|| {
-            ablation::finetuned_part_sweep(&profile, &[FreezeLevel::Moderate, FreezeLevel::Classifier])
-                .unwrap()
+            ablation::finetuned_part_sweep(
+                &profile,
+                &[FreezeLevel::Moderate, FreezeLevel::Classifier],
+            )
+            .unwrap()
         })
     });
 }

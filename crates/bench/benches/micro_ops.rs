@@ -19,6 +19,21 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matmul_64x128x64", |bencher| {
         bencher.iter(|| a.matmul(&b).unwrap())
     });
+
+    let big_a = random_matrix(512, 512, 6);
+    let big_b = random_matrix(512, 512, 7);
+    c.bench_function("matmul_512x512x512", |bencher| {
+        bencher.iter(|| big_a.matmul(&big_b).unwrap())
+    });
+    c.bench_function("matmul_naive_512x512x512", |bencher| {
+        bencher.iter(|| big_a.matmul_naive(&big_b).unwrap())
+    });
+    c.bench_function("matmul_tn_512x512x512", |bencher| {
+        bencher.iter(|| big_a.matmul_tn(&big_b).unwrap())
+    });
+    c.bench_function("matmul_nt_512x512x512", |bencher| {
+        bencher.iter(|| big_a.matmul_nt(&big_b).unwrap())
+    });
 }
 
 fn bench_softmax_entropy(c: &mut Criterion) {

@@ -10,8 +10,14 @@ use fedft_core::Method;
 fn bench_straggler_scenario(c: &mut Criterion) {
     let profile = ExperimentProfile::tiny();
     let entries = vec![
-        LineupEntry { method: Method::FedAvg, participation: 0.25 },
-        LineupEntry { method: Method::FedFtEds { pds: 0.5 }, participation: 1.0 },
+        LineupEntry {
+            method: Method::FedAvg,
+            participation: 0.25,
+        },
+        LineupEntry {
+            method: Method::FedFtEds { pds: 0.5 },
+            participation: 1.0,
+        },
     ];
     c.bench_function("table3_straggler_scenario_tiny_profile", |bencher| {
         bencher.iter(|| table3::run_scenario(&profile, Task::Cifar10, 0.5, &entries).unwrap())

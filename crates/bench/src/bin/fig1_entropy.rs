@@ -8,7 +8,10 @@ use fedft_bench::{output, ExperimentProfile};
 
 fn main() {
     let profile = ExperimentProfile::from_env_and_args();
-    println!("Figure 1 — entropy distribution (profile: {})", profile.name);
+    println!(
+        "Figure 1 — entropy distribution (profile: {})",
+        profile.name
+    );
     match entropy_fig::run(&profile, &[1.0, 0.5, 0.1]) {
         Ok(result) => {
             let table = result.to_table();

@@ -8,8 +8,8 @@
 //!
 //! Usage: `cargo run --release -p fedft-bench --bin probe_transfer [-- --profile fast|paper]`
 
-use fedft_bench::{setup, ExperimentProfile};
 use fedft_bench::setup::Task;
+use fedft_bench::{setup, ExperimentProfile};
 use fedft_core::pretrain::pretrain_source_model;
 use fedft_nn::{FreezeLevel, SgdConfig, Trainer, TrainerConfig};
 
@@ -74,7 +74,19 @@ fn main() {
 
     report("full training from scratch", &scratch, &full_trainer);
     report("linear probe on random trunk", &scratch, &probe_trainer);
-    report("linear probe on pretrained trunk", &pretrained, &probe_trainer);
-    report("upper-part fine-tune on pretrained trunk", &pretrained, &moderate_trainer);
-    report("full fine-tune from pretrained trunk", &pretrained, &full_trainer);
+    report(
+        "linear probe on pretrained trunk",
+        &pretrained,
+        &probe_trainer,
+    );
+    report(
+        "upper-part fine-tune on pretrained trunk",
+        &pretrained,
+        &moderate_trainer,
+    );
+    report(
+        "full fine-tune from pretrained trunk",
+        &pretrained,
+        &full_trainer,
+    );
 }

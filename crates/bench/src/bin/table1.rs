@@ -11,7 +11,10 @@ fn main() {
     match table1::run(&profile) {
         Ok(result) => {
             let table = result.to_table();
-            output::print_table("Table I — top-1 accuracy (%) of FedAvg on CIFAR-10-like", &table);
+            output::print_table(
+                "Table I — top-1 accuracy (%) of FedAvg on CIFAR-10-like",
+                &table,
+            );
             match output::write_table_csv("table1", &table) {
                 Ok(path) => println!("wrote {}", path.display()),
                 Err(err) => eprintln!("failed to write CSV: {err}"),

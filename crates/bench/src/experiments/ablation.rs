@@ -88,12 +88,10 @@ fn run_pair(
     temperature: f32,
 ) -> Result<(f32, f32), FlError> {
     let base = setup::base_config(profile, profile.rounds_large).with_freeze(freeze);
-    let eds_cfg = base
-        .clone()
-        .with_selection(SelectionStrategy::Entropy {
-            fraction: ABLATION_PDS,
-            temperature,
-        });
+    let eds_cfg = base.clone().with_selection(SelectionStrategy::Entropy {
+        fraction: ABLATION_PDS,
+        temperature,
+    });
     let rds_cfg = base.with_selection(SelectionStrategy::Random {
         fraction: ABLATION_PDS,
     });
@@ -164,9 +162,9 @@ pub fn temperature_sweep(
     let ctx = context(profile, 0.1)?;
     // RDS does not depend on the temperature; run it once as the baseline.
     let base = setup::base_config(profile, profile.rounds_large).with_freeze(FreezeLevel::Moderate);
-    let rds_cfg = base
-        .clone()
-        .with_selection(SelectionStrategy::Random { fraction: ABLATION_PDS });
+    let rds_cfg = base.clone().with_selection(SelectionStrategy::Random {
+        fraction: ABLATION_PDS,
+    });
     let rds = Simulation::new(rds_cfg)?
         .run_labelled("FedFT-RDS", &ctx.fed, &ctx.pretrained)?
         .best_accuracy();

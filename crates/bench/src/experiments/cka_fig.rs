@@ -43,7 +43,9 @@ impl CkaResult {
     pub fn mean_cka(&self, pretrained: bool, alpha: f64, block: &str) -> Option<f64> {
         self.cells
             .iter()
-            .find(|c| c.pretrained == pretrained && (c.alpha - alpha).abs() < 1e-9 && c.block == block)
+            .find(|c| {
+                c.pretrained == pretrained && (c.alpha - alpha).abs() < 1e-9 && c.block == block
+            })
             .map(|c| c.mean_cka)
     }
 
@@ -87,8 +89,7 @@ pub fn run(profile: &ExperimentProfile, alphas: &[f64]) -> Result<CkaResult, FlE
         for (is_pretrained, initial) in [(false, &scratch), (true, &pretrained)] {
             // One round of full-model local updates per client (FedAvg-style),
             // without aggregation: we want the *locally drifted* models.
-            let config: FlConfig =
-                Method::FedAvg.configure(setup::base_config(profile, 1));
+            let config: FlConfig = Method::FedAvg.configure(setup::base_config(profile, 1));
             let mut client_models: Vec<BlockNet> = Vec::with_capacity(fed.num_clients());
             for k in 0..fed.num_clients() {
                 let client = fedft_core::Client::new(k, fed.client(k).clone());
@@ -98,8 +99,7 @@ pub fn run(profile: &ExperimentProfile, alphas: &[f64]) -> Result<CkaResult, FlE
                 client_models.push(model);
             }
             for block in BLOCKS {
-                let matrix =
-                    client_cka_matrix(&mut client_models, fed.test().features(), block)?;
+                let matrix = client_cka_matrix(&mut client_models, fed.test().features(), block)?;
                 cells.push(CkaCell {
                     pretrained: is_pretrained,
                     alpha,

@@ -63,8 +63,11 @@ impl Table2Result {
         if self.scenarios.is_empty() {
             return table;
         }
-        let method_labels: Vec<String> =
-            self.scenarios[0].runs.iter().map(|r| r.label.clone()).collect();
+        let method_labels: Vec<String> = self.scenarios[0]
+            .runs
+            .iter()
+            .map(|r| r.label.clone())
+            .collect();
         for label in &method_labels {
             let mut row = vec![label.clone()];
             for scenario in &self.scenarios {

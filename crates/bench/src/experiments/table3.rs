@@ -41,15 +41,42 @@ impl LineupEntry {
 /// The Table III lineup of methods.
 pub fn lineup() -> Vec<LineupEntry> {
     vec![
-        LineupEntry { method: Method::FedAvgScratch, participation: 1.0 },
-        LineupEntry { method: Method::FedAvg, participation: 1.0 },
-        LineupEntry { method: Method::FedAvg, participation: 0.2 },
-        LineupEntry { method: Method::FedAvg, participation: 0.1 },
-        LineupEntry { method: Method::FedFtRds { pds: 0.1 }, participation: 1.0 },
-        LineupEntry { method: Method::FedFtEds { pds: 0.1 }, participation: 1.0 },
-        LineupEntry { method: Method::FedFtAll, participation: 1.0 },
-        LineupEntry { method: Method::FedFtRds { pds: 0.5 }, participation: 1.0 },
-        LineupEntry { method: Method::FedFtEds { pds: 0.5 }, participation: 1.0 },
+        LineupEntry {
+            method: Method::FedAvgScratch,
+            participation: 1.0,
+        },
+        LineupEntry {
+            method: Method::FedAvg,
+            participation: 1.0,
+        },
+        LineupEntry {
+            method: Method::FedAvg,
+            participation: 0.2,
+        },
+        LineupEntry {
+            method: Method::FedAvg,
+            participation: 0.1,
+        },
+        LineupEntry {
+            method: Method::FedFtRds { pds: 0.1 },
+            participation: 1.0,
+        },
+        LineupEntry {
+            method: Method::FedFtEds { pds: 0.1 },
+            participation: 1.0,
+        },
+        LineupEntry {
+            method: Method::FedFtAll,
+            participation: 1.0,
+        },
+        LineupEntry {
+            method: Method::FedFtRds { pds: 0.5 },
+            participation: 1.0,
+        },
+        LineupEntry {
+            method: Method::FedFtEds { pds: 0.5 },
+            participation: 1.0,
+        },
     ]
 }
 
@@ -224,13 +251,21 @@ mod tests {
     fn tiny_scenario_runs_a_reduced_lineup() {
         let profile = ExperimentProfile::tiny();
         let entries = vec![
-            LineupEntry { method: Method::FedAvg, participation: 0.5 },
-            LineupEntry { method: Method::FedFtEds { pds: 0.5 }, participation: 1.0 },
+            LineupEntry {
+                method: Method::FedAvg,
+                participation: 0.5,
+            },
+            LineupEntry {
+                method: Method::FedFtEds { pds: 0.5 },
+                participation: 1.0,
+            },
         ];
         let scenario = run_scenario(&profile, Task::Cifar10, 0.5, &entries).unwrap();
         assert_eq!(scenario.runs.len(), 2);
         assert!(scenario.best_accuracy_of("FedAvg, 50% c.p.").is_some());
-        let result = Table3Result { scenarios: vec![scenario] };
+        let result = Table3Result {
+            scenarios: vec![scenario],
+        };
         assert_eq!(result.to_table().len(), 2);
         assert_eq!(result.efficiency_table().len(), 2);
         assert!(!result.curves_table().is_empty());

@@ -118,7 +118,11 @@ mod tests {
     #[test]
     fn cross_domain_runs_and_pretraining_is_not_harmful() {
         let profile = ExperimentProfile::tiny();
-        let methods = vec![Method::FedAvgScratch, Method::FedAvg, Method::FedFtEds { pds: 0.5 }];
+        let methods = vec![
+            Method::FedAvgScratch,
+            Method::FedAvg,
+            Method::FedFtEds { pds: 0.5 },
+        ];
         let result = run_with_methods(&profile, &methods, 0.5).unwrap();
         assert_eq!(result.runs.len(), 3);
         assert!(result.centralised_accuracy > 0.0);

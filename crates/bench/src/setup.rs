@@ -2,7 +2,7 @@
 
 use crate::profile::ExperimentProfile;
 use fedft_core::pretrain::pretrain_global_model;
-use fedft_core::{FlConfig, FlError, Method, RunResult, Simulation};
+use fedft_core::{ExecutionBackend, FlConfig, FlError, Method, RunResult, Simulation};
 use fedft_data::federated::PartitionScheme;
 use fedft_data::{domains, DomainBundle, FederatedDataset};
 use fedft_nn::{BlockNet, BlockNetConfig};
@@ -41,7 +41,9 @@ pub fn source_bundle(profile: &ExperimentProfile) -> Result<DomainBundle, FlErro
 /// Generates the bundle for a target task.
 pub fn target_bundle(profile: &ExperimentProfile, task: Task) -> Result<DomainBundle, FlError> {
     let spec = match task {
-        Task::Cifar10 => domains::cifar10_like().with_samples_per_class(profile.samples_per_class_c10),
+        Task::Cifar10 => {
+            domains::cifar10_like().with_samples_per_class(profile.samples_per_class_c10)
+        }
         Task::Cifar100 => {
             domains::cifar100_like().with_samples_per_class(profile.samples_per_class_c100)
         }
@@ -102,12 +104,16 @@ pub fn federate(
 
 /// Base simulation configuration for a profile: rounds, local epochs, batch
 /// size, seed; method-specific fields are overridden by [`Method::configure`].
+///
+/// Experiments always run on the parallel round executor — results are
+/// identical to the sequential backend, only faster on multi-core hosts.
 pub fn base_config(profile: &ExperimentProfile, rounds: usize) -> FlConfig {
     FlConfig::default()
         .with_rounds(rounds)
         .with_local_epochs(profile.local_epochs)
         .with_batch_size(profile.batch_size)
         .with_seed(profile.seed)
+        .with_execution(ExecutionBackend::Parallel)
 }
 
 /// Runs a named method against a federated dataset, automatically choosing

@@ -69,7 +69,11 @@ mod tests {
         let cfg = BlockNetConfig::new(bundle.train.feature_dim(), bundle.train.num_classes())
             .with_hidden(24, 24, 24);
         let result = centralised_baseline(&bundle, &cfg, None, 8, 3).unwrap();
-        assert!(result.test_accuracy > 0.3, "accuracy={}", result.test_accuracy);
+        assert!(
+            result.test_accuracy > 0.3,
+            "accuracy={}",
+            result.test_accuracy
+        );
         assert_eq!(result.epochs, 8);
     }
 
@@ -91,8 +95,16 @@ mod tests {
         let cold = centralised_baseline(&bundle, &cfg, None, 3, 5).unwrap();
         // At this miniature scale the warm/cold ordering is noisy; both must
         // simply clear chance level (10 classes -> 0.1) by a solid margin.
-        assert!(warm.test_accuracy > 0.2, "warm start too weak: {}", warm.test_accuracy);
-        assert!(cold.test_accuracy > 0.2, "cold start too weak: {}", cold.test_accuracy);
+        assert!(
+            warm.test_accuracy > 0.2,
+            "warm start too weak: {}",
+            warm.test_accuracy
+        );
+        assert!(
+            cold.test_accuracy > 0.2,
+            "cold start too weak: {}",
+            cold.test_accuracy
+        );
     }
 
     #[test]

@@ -106,7 +106,8 @@ impl Client {
             for chunk in order.chunks(config.batch_size) {
                 let batch_x = selected.features().select_rows(chunk);
                 let batch_y: Vec<usize> = chunk.iter().map(|&i| selected.labels()[i]).collect();
-                epoch_loss += model.train_batch(&batch_x, &batch_y, &mut optimizer, config.freeze)?;
+                epoch_loss +=
+                    model.train_batch(&batch_x, &batch_y, &mut optimizer, config.freeze)?;
                 batches += 1;
             }
             train_loss = epoch_loss / batches.max(1) as f32;
@@ -196,8 +197,8 @@ mod tests {
         let client = Client::new(0, client_dataset(40, 3));
         let model = global_model();
         let full = client.local_update(&model, &quick_config(), 0).unwrap();
-        let reduced_cfg = quick_config()
-            .with_selection(SelectionStrategy::Random { fraction: 0.1 });
+        let reduced_cfg =
+            quick_config().with_selection(SelectionStrategy::Random { fraction: 0.1 });
         let reduced = client.local_update(&model, &reduced_cfg, 0).unwrap();
         assert_eq!(reduced.selected_samples, 4);
         assert!(reduced.compute_seconds < full.compute_seconds);

@@ -167,8 +167,8 @@ mod tests {
     fn traffic_matches_parameter_counts() {
         let m = model();
         let traffic = round_traffic(&m, FreezeLevel::Moderate);
-        let expected = m.trainable_parameter_count(FreezeLevel::Moderate) * BYTES_PER_PARAM
-            + HEADER_BYTES;
+        let expected =
+            m.trainable_parameter_count(FreezeLevel::Moderate) * BYTES_PER_PARAM + HEADER_BYTES;
         assert_eq!(traffic.download_bytes, expected);
     }
 

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::executor::ExecutionBackend;
 use crate::selection::SelectionStrategy;
 use crate::{CostModel, FlError, Result};
 use fedft_nn::{FreezeLevel, SgdConfig};
@@ -59,9 +60,10 @@ pub struct FlConfig {
     pub cost: CostModel,
     /// Master seed controlling every stochastic component of the run.
     pub seed: u64,
-    /// Run client updates on multiple OS threads. Results are identical
-    /// either way; this only affects wall-clock time of the simulation.
-    pub parallel: bool,
+    /// How client updates are executed each round. Results are identical
+    /// for every backend; this only affects wall-clock time of the
+    /// simulation.
+    pub execution: ExecutionBackend,
 }
 
 impl Default for FlConfig {
@@ -77,7 +79,7 @@ impl Default for FlConfig {
             participation: 1.0,
             cost: CostModel::default(),
             seed: 0,
-            parallel: true,
+            execution: ExecutionBackend::Parallel,
         }
     }
 }
@@ -131,9 +133,16 @@ impl FlConfig {
         self
     }
 
-    /// Disables multi-threaded client updates.
+    /// Selects the execution backend for client updates.
+    pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Disables multi-threaded client updates
+    /// (shorthand for [`ExecutionBackend::Sequential`]).
     pub fn serial(mut self) -> Self {
-        self.parallel = false;
+        self.execution = ExecutionBackend::Sequential;
         self
     }
 
@@ -163,7 +172,10 @@ impl FlConfig {
         }
         if !(self.participation > 0.0 && self.participation <= 1.0) {
             return Err(FlError::InvalidConfig {
-                what: format!("participation must be in (0, 1], got {}", self.participation),
+                what: format!(
+                    "participation must be in (0, 1], got {}",
+                    self.participation
+                ),
             });
         }
         if let LocalAlgorithm::FedProx { mu } = self.algorithm {
@@ -214,8 +226,10 @@ mod tests {
         assert_eq!(c.participation, 0.2);
         assert_eq!(c.batch_size, 8);
         assert_eq!(c.freeze, FreezeLevel::Classifier);
-        assert!(!c.parallel);
+        assert_eq!(c.execution, ExecutionBackend::Sequential);
         assert!(c.validate().is_ok());
+        let p = FlConfig::default().with_execution(ExecutionBackend::Parallel);
+        assert_eq!(p.execution, ExecutionBackend::Parallel);
     }
 
     #[test]
@@ -223,8 +237,14 @@ mod tests {
         assert!(FlConfig::default().with_rounds(0).validate().is_err());
         assert!(FlConfig::default().with_local_epochs(0).validate().is_err());
         assert!(FlConfig::default().with_batch_size(0).validate().is_err());
-        assert!(FlConfig::default().with_participation(0.0).validate().is_err());
-        assert!(FlConfig::default().with_participation(1.5).validate().is_err());
+        assert!(FlConfig::default()
+            .with_participation(0.0)
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_participation(1.5)
+            .validate()
+            .is_err());
         assert!(FlConfig::default()
             .with_algorithm(LocalAlgorithm::FedProx { mu: 0.0 })
             .validate()

@@ -148,7 +148,8 @@ mod tests {
         let without = cost.client_round_seconds(&flops(), 100, 10, 5, false);
         let with = cost.client_round_seconds(&flops(), 100, 10, 5, true);
         assert!(with > without);
-        let expected_extra = flops().inference_flops() as f64 * 100.0 / cost.device_flops_per_second;
+        let expected_extra =
+            flops().inference_flops() as f64 * 100.0 / cost.device_flops_per_second;
         assert!((with - without - expected_extra).abs() < 1e-9);
     }
 

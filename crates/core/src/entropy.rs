@@ -128,8 +128,14 @@ mod tests {
 
     fn random_features(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut r = rng::rng_for(seed, "entropy-test");
-        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| r.gen::<f32>() * 2.0 - 1.0).collect())
-            .unwrap()
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| r.gen::<f32>() * 2.0 - 1.0)
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]

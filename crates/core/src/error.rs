@@ -86,10 +86,14 @@ mod tests {
 
     #[test]
     fn display_for_engine_errors() {
-        assert!(FlError::InvalidConfig { what: "rounds".into() }
+        assert!(FlError::InvalidConfig {
+            what: "rounds".into()
+        }
+        .to_string()
+        .contains("rounds"));
+        assert!(FlError::NoParticipants { round: 4 }
             .to_string()
-            .contains("rounds"));
-        assert!(FlError::NoParticipants { round: 4 }.to_string().contains('4'));
+            .contains('4'));
     }
 
     #[test]

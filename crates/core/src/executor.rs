@@ -1,0 +1,289 @@
+//! Pluggable execution backends for the federated round loop.
+//!
+//! Each round of [`crate::Simulation`] trains every participating client
+//! against the current global model. How those independent local updates are
+//! scheduled is an execution concern, not an algorithmic one, so it lives
+//! behind the [`RoundExecutor`] trait with two implementations:
+//!
+//! * [`SequentialExecutor`] — one client after another on the calling
+//!   thread. The reference behaviour.
+//! * [`ParallelExecutor`] — participants are split into contiguous chunks
+//!   across scoped OS threads. Every client update is an independent, pure
+//!   function of `(global model, client data, config, round)`, and updates
+//!   are returned in participant order regardless of which thread finished
+//!   first, so round histories are **bit-identical** to the sequential
+//!   backend's for the same [`FlConfig`] seed.
+//!
+//! The backend is selected by the [`ExecutionBackend`] knob on
+//! [`FlConfig`](crate::FlConfig); simulation code only sees the trait.
+
+use crate::client::{Client, ClientUpdate};
+use crate::config::FlConfig;
+use crate::{FlError, Result};
+use fedft_nn::BlockNet;
+use serde::{Deserialize, Serialize};
+
+/// Which backend executes the clients' local updates each round.
+///
+/// This only affects wall-clock time of the simulation, never its results:
+/// both backends produce identical round histories for the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutionBackend {
+    /// Train selected clients one after another on the calling thread.
+    Sequential,
+    /// Train selected clients concurrently on all available cores
+    /// (aggregating in client order, so results match `Sequential` exactly).
+    #[default]
+    Parallel,
+}
+
+impl ExecutionBackend {
+    /// Short name used in reports and labels.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ExecutionBackend::Sequential => "seq",
+            ExecutionBackend::Parallel => "par",
+        }
+    }
+
+    /// Instantiates the executor for this backend.
+    pub fn executor(&self) -> Box<dyn RoundExecutor> {
+        match self {
+            ExecutionBackend::Sequential => Box::new(SequentialExecutor),
+            ExecutionBackend::Parallel => Box::new(ParallelExecutor::new()),
+        }
+    }
+}
+
+/// Executes the local updates of all participants of one round.
+///
+/// # Contract
+///
+/// Implementations must return exactly one [`ClientUpdate`] per participant,
+/// **in participant order** (the order of the `participants` slice), so that
+/// server aggregation is deterministic under any scheduling. They must not
+/// mutate shared state: a client update is a pure function of its inputs.
+pub trait RoundExecutor: Send + Sync + std::fmt::Debug {
+    /// Human-readable executor name for logs and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Runs the local update of every participant against `global_model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoParticipants`] for an empty participant set, or
+    /// the first client error in participant order.
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<Vec<ClientUpdate>>;
+}
+
+/// Trains clients one at a time on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl RoundExecutor for SequentialExecutor {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<Vec<ClientUpdate>> {
+        if participants.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        participants
+            .iter()
+            .map(|client| client.local_update(global_model, config, round))
+            .collect()
+    }
+}
+
+/// Trains clients concurrently on scoped OS threads.
+///
+/// Participants are split into contiguous chunks, one per worker; each chunk
+/// is processed in order on its thread and the per-chunk results are
+/// concatenated in chunk order, so the returned updates are in participant
+/// order — identical to [`SequentialExecutor`] output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelExecutor {
+    /// Optional cap on worker threads; `None` uses all available cores.
+    max_threads: Option<usize>,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor that uses every available core.
+    pub fn new() -> Self {
+        ParallelExecutor { max_threads: None }
+    }
+
+    /// Caps the number of worker threads (useful for benchmarking scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_max_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread cap must be non-zero");
+        ParallelExecutor {
+            max_threads: Some(threads),
+        }
+    }
+
+    fn worker_count(&self, participants: usize) -> usize {
+        // An explicit cap is honoured verbatim (not clamped to the core
+        // count): it is a request, and it keeps the multi-threaded path
+        // exercisable on single-core hosts.
+        let workers = self.max_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        workers.min(participants)
+    }
+}
+
+impl RoundExecutor for ParallelExecutor {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<Vec<ClientUpdate>> {
+        if participants.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        let workers = self.worker_count(participants.len());
+        if workers <= 1 {
+            return SequentialExecutor.run_round(participants, global_model, config, round);
+        }
+
+        let chunk_size = participants.len().div_ceil(workers);
+        let mut results: Vec<Result<Vec<ClientUpdate>>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for chunk in participants.chunks(chunk_size) {
+                handles.push(scope.spawn(move || {
+                    // Each worker owns one core; keep the tensor kernels
+                    // from spawning a second level of threads underneath.
+                    fedft_tensor::parallel::single_threaded(|| {
+                        chunk
+                            .iter()
+                            .map(|client| client.local_update(global_model, config, round))
+                            .collect::<Result<Vec<ClientUpdate>>>()
+                    })
+                }));
+            }
+            // Joining in spawn order keeps the concatenation in participant
+            // order no matter which thread finishes first.
+            for handle in handles {
+                results.push(handle.join().expect("client update thread panicked"));
+            }
+        });
+        let mut updates = Vec::with_capacity(participants.len());
+        for chunk in results {
+            updates.extend(chunk?);
+        }
+        Ok(updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedft_data::Dataset;
+    use fedft_nn::{BlockNet, BlockNetConfig};
+    use fedft_tensor::{init, rng};
+
+    fn client(id: usize, samples: usize) -> Client {
+        let mut r = rng::rng_for_indexed(7, "executor-test", id as u64);
+        let features = init::normal(&mut r, samples, 6, 0.0, 1.0);
+        Client::new(
+            id,
+            Dataset::new(features, (0..samples).map(|i| i % 3).collect(), 3).unwrap(),
+        )
+    }
+
+    fn model() -> BlockNet {
+        BlockNet::new(&BlockNetConfig::new(6, 3).with_hidden(10, 10, 10), 5)
+    }
+
+    fn config() -> FlConfig {
+        FlConfig::default()
+            .with_rounds(1)
+            .with_local_epochs(1)
+            .with_batch_size(8)
+    }
+
+    #[test]
+    fn backends_have_names_and_default_is_parallel() {
+        assert_eq!(ExecutionBackend::default(), ExecutionBackend::Parallel);
+        assert_eq!(ExecutionBackend::Sequential.short_name(), "seq");
+        assert_eq!(ExecutionBackend::Parallel.short_name(), "par");
+        assert_eq!(ExecutionBackend::Sequential.executor().name(), "sequential");
+        assert_eq!(ExecutionBackend::Parallel.executor().name(), "parallel");
+    }
+
+    #[test]
+    fn both_executors_reject_empty_rounds() {
+        let m = model();
+        let c = config();
+        assert!(matches!(
+            SequentialExecutor.run_round(&[], &m, &c, 3),
+            Err(FlError::NoParticipants { round: 3 })
+        ));
+        assert!(matches!(
+            ParallelExecutor::new().run_round(&[], &m, &c, 9),
+            Err(FlError::NoParticipants { round: 9 })
+        ));
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_sequential_in_participant_order() {
+        let clients: Vec<Client> = (0..7).map(|id| client(id, 12 + id)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config();
+        let sequential = SequentialExecutor.run_round(&refs, &m, &c, 0).unwrap();
+        for workers in [1, 2, 3, 7] {
+            let parallel = ParallelExecutor::with_max_threads(workers)
+                .run_round(&refs, &m, &c, 0)
+                .unwrap();
+            assert_eq!(sequential, parallel, "workers={workers}");
+        }
+        let ids: Vec<usize> = sequential.iter().map(|u| u.client_id).collect();
+        assert_eq!(
+            ids,
+            (0..7).collect::<Vec<_>>(),
+            "participant order preserved"
+        );
+    }
+
+    #[test]
+    fn worker_count_respects_cap_and_participants() {
+        let e = ParallelExecutor::with_max_threads(2);
+        assert_eq!(e.worker_count(1), 1);
+        assert!(e.worker_count(100) <= 2);
+        let unlimited = ParallelExecutor::new();
+        assert!(unlimited.worker_count(3) <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_thread_cap_is_rejected() {
+        let _ = ParallelExecutor::with_max_threads(0);
+    }
+}

@@ -57,6 +57,7 @@ pub mod comm;
 pub mod config;
 pub mod cost;
 pub mod entropy;
+pub mod executor;
 pub mod methods;
 pub mod metrics;
 pub mod participation;
@@ -69,6 +70,7 @@ pub use client::{Client, ClientUpdate};
 pub use config::{FlConfig, LocalAlgorithm};
 pub use cost::CostModel;
 pub use error::FlError;
+pub use executor::{ExecutionBackend, ParallelExecutor, RoundExecutor, SequentialExecutor};
 pub use methods::Method;
 pub use metrics::{RoundRecord, RunResult};
 pub use participation::ParticipationModel;

@@ -70,8 +70,13 @@ impl Method {
             Method::FedAvgScratch,
             Method::FedAvg,
             Method::FedAvgRds { pds },
-            Method::FedProx { mu: Self::DEFAULT_MU },
-            Method::FedProxRds { mu: Self::DEFAULT_MU, pds },
+            Method::FedProx {
+                mu: Self::DEFAULT_MU,
+            },
+            Method::FedProxRds {
+                mu: Self::DEFAULT_MU,
+                pds,
+            },
             Method::FedFtRds { pds },
             Method::FedFtEds { pds },
         ]
@@ -193,7 +198,9 @@ mod tests {
 
         let prox = Method::FedProxRds { mu: 0.05, pds: 0.2 }.configure(base.clone());
         assert_eq!(prox.freeze, FreezeLevel::Full);
-        assert!(matches!(prox.algorithm, LocalAlgorithm::FedProx { mu } if (mu - 0.05).abs() < 1e-9));
+        assert!(
+            matches!(prox.algorithm, LocalAlgorithm::FedProx { mu } if (mu - 0.05).abs() < 1e-9)
+        );
         assert!(matches!(prox.selection, SelectionStrategy::Random { .. }));
 
         let avg = Method::FedAvg.configure(base);
@@ -205,7 +212,10 @@ mod tests {
     fn configured_methods_are_valid() {
         let base = FlConfig::default().with_rounds(2);
         for method in Method::table2_lineup(0.1) {
-            assert!(method.configure(base.clone()).validate().is_ok(), "{method}");
+            assert!(
+                method.configure(base.clone()).validate().is_ok(),
+                "{method}"
+            );
         }
         assert!(Method::FedFtAll.configure(base).validate().is_ok());
     }

@@ -102,7 +102,10 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 6);
-        assert!(a.windows(2).all(|w| w[0] < w[1]), "ids are sorted and unique");
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "ids are sorted and unique"
+        );
         assert!(a.iter().all(|&id| id < 20));
     }
 
@@ -115,6 +118,9 @@ mod tests {
                 seen[id] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "some client never participated: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some client never participated: {seen:?}"
+        );
     }
 }

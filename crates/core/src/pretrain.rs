@@ -134,14 +134,18 @@ mod tests {
             .evaluate_accuracy(source.test.features(), source.test.labels())
             .unwrap();
         let chance = 1.0 / source.test.num_classes() as f32;
-        assert!(acc > 3.0 * chance, "pretrained accuracy {acc} too close to chance {chance}");
+        assert!(
+            acc > 3.0 * chance,
+            "pretrained accuracy {acc} too close to chance {chance}"
+        );
     }
 
     #[test]
     fn adapt_head_keeps_trunk_and_resets_head() {
         let source = small_source();
         let source_model = pretrain_source_model(&source, (24, 24, 24), 2, 7).unwrap();
-        let target_cfg = BlockNetConfig::new(source.train.feature_dim(), 10).with_hidden(24, 24, 24);
+        let target_cfg =
+            BlockNetConfig::new(source.train.feature_dim(), 10).with_hidden(24, 24, 24);
         let adapted = adapt_head_to_task(&source_model, &target_cfg, 1).unwrap();
         assert_eq!(adapted.num_classes(), 10);
         // The trunk (everything below the classifier) matches the source model.
@@ -166,7 +170,8 @@ mod tests {
     #[test]
     fn pretrain_global_model_end_to_end() {
         let source = small_source();
-        let target_cfg = BlockNetConfig::new(source.train.feature_dim(), 10).with_hidden(24, 24, 24);
+        let target_cfg =
+            BlockNetConfig::new(source.train.feature_dim(), 10).with_hidden(24, 24, 24);
         let model = pretrain_global_model(&target_cfg, &source, 2, 5).unwrap();
         assert_eq!(model.num_classes(), 10);
         assert_eq!(model.input_dim(), source.train.feature_dim());

@@ -116,11 +116,8 @@ impl SelectionStrategy {
             SelectionStrategy::All => Ok((0..dataset.len()).collect()),
             SelectionStrategy::Random { .. } => {
                 let mut order: Vec<usize> = (0..dataset.len()).collect();
-                let mut r = rng::rng_for_indexed(
-                    seed,
-                    &format!("rds-client-{client_id}"),
-                    round as u64,
-                );
+                let mut r =
+                    rng::rng_for_indexed(seed, &format!("rds-client-{client_id}"), round as u64);
                 order.shuffle(&mut r);
                 order.truncate(keep);
                 Ok(order)
@@ -155,34 +152,59 @@ mod tests {
     }
 
     fn dataset(n: usize) -> Dataset {
-        let features = Matrix::from_vec(n, 4, (0..n * 4).map(|v| (v % 17) as f32 * 0.1).collect()).unwrap();
+        let features =
+            Matrix::from_vec(n, 4, (0..n * 4).map(|v| (v % 17) as f32 * 0.1).collect()).unwrap();
         Dataset::new(features, (0..n).map(|i| i % 3).collect(), 3).unwrap()
     }
 
     #[test]
     fn fractions_and_names() {
         assert_eq!(SelectionStrategy::All.fraction(), 1.0);
-        assert_eq!(SelectionStrategy::Random { fraction: 0.25 }.fraction(), 0.25);
-        assert_eq!(SelectionStrategy::All.short_name(), "all");
-        assert_eq!(SelectionStrategy::Random { fraction: 0.1 }.short_name(), "rds");
         assert_eq!(
-            SelectionStrategy::Entropy { fraction: 0.1, temperature: 0.1 }.short_name(),
+            SelectionStrategy::Random { fraction: 0.25 }.fraction(),
+            0.25
+        );
+        assert_eq!(SelectionStrategy::All.short_name(), "all");
+        assert_eq!(
+            SelectionStrategy::Random { fraction: 0.1 }.short_name(),
+            "rds"
+        );
+        assert_eq!(
+            SelectionStrategy::Entropy {
+                fraction: 0.1,
+                temperature: 0.1
+            }
+            .short_name(),
             "eds"
         );
-        assert!(SelectionStrategy::Entropy { fraction: 0.1, temperature: 0.1 }.needs_inference_pass());
+        assert!(SelectionStrategy::Entropy {
+            fraction: 0.1,
+            temperature: 0.1
+        }
+        .needs_inference_pass());
         assert!(!SelectionStrategy::Random { fraction: 0.1 }.needs_inference_pass());
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(SelectionStrategy::Random { fraction: 0.0 }.validate().is_err());
-        assert!(SelectionStrategy::Random { fraction: 1.5 }.validate().is_err());
-        assert!(SelectionStrategy::Entropy { fraction: 0.5, temperature: 0.0 }
+        assert!(SelectionStrategy::Random { fraction: 0.0 }
             .validate()
             .is_err());
-        assert!(SelectionStrategy::Entropy { fraction: 0.5, temperature: 0.1 }
+        assert!(SelectionStrategy::Random { fraction: 1.5 }
             .validate()
-            .is_ok());
+            .is_err());
+        assert!(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -226,7 +248,10 @@ mod tests {
     fn entropy_selection_picks_highest_entropy_samples() {
         let mut m = model(3);
         let d = dataset(30);
-        let s = SelectionStrategy::Entropy { fraction: 0.2, temperature: 0.5 };
+        let s = SelectionStrategy::Entropy {
+            fraction: 0.2,
+            temperature: 0.5,
+        };
         let selected = s.select(&mut m, &d, 0, 0, 0).unwrap();
         assert_eq!(selected.len(), 6);
         let entropies = sample_entropies(&mut m, d.features(), 0.5).unwrap();
@@ -248,7 +273,10 @@ mod tests {
     fn entropy_selection_is_deterministic() {
         let mut m = model(3);
         let d = dataset(15);
-        let s = SelectionStrategy::Entropy { fraction: 0.4, temperature: 0.1 };
+        let s = SelectionStrategy::Entropy {
+            fraction: 0.4,
+            temperature: 0.1,
+        };
         assert_eq!(
             s.select(&mut m, &d, 2, 1, 9).unwrap(),
             s.select(&mut m, &d, 2, 1, 9).unwrap()
@@ -259,6 +287,8 @@ mod tests {
     fn selection_on_empty_dataset_errors() {
         let mut m = model(3);
         let empty = Dataset::empty(4, 3);
-        assert!(SelectionStrategy::All.select(&mut m, &empty, 0, 0, 0).is_err());
+        assert!(SelectionStrategy::All
+            .select(&mut m, &empty, 0, 0, 0)
+            .is_err());
     }
 }

@@ -85,10 +85,7 @@ mod tests {
     #[test]
     fn aggregation_weights_by_selected_samples() {
         let server = Server::new();
-        let updates = vec![
-            update(0, vec![0.0, 0.0], 10),
-            update(1, vec![4.0, 8.0], 30),
-        ];
+        let updates = vec![update(0, vec![0.0, 0.0], 10), update(1, vec![4.0, 8.0], 30)];
         let theta = server.aggregate(&updates, 0).unwrap();
         // Weights 0.25 / 0.75.
         assert_eq!(theta.values(), &[3.0, 6.0]);

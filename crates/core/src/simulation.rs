@@ -1,6 +1,6 @@
 //! The synchronous federated-learning round loop (paper Algorithm 1).
 
-use crate::client::{Client, ClientUpdate};
+use crate::client::Client;
 use crate::config::FlConfig;
 use crate::metrics::{RoundRecord, RunResult};
 use crate::participation::ParticipationModel;
@@ -78,6 +78,7 @@ impl Simulation {
             .collect();
         let participation = ParticipationModel::new(self.config.participation)?;
         let server = Server::new();
+        let executor = self.config.execution.executor();
 
         let mut global_model = initial_model.clone();
         let mut rounds = Vec::with_capacity(self.config.rounds);
@@ -88,19 +89,19 @@ impl Simulation {
                 participation.sample_round(clients.len(), round, self.config.seed);
             let participants: Vec<&Client> =
                 participant_ids.iter().map(|&id| &clients[id]).collect();
-            let updates = self.run_round(&participants, &global_model, round)?;
+            let updates = executor.run_round(&participants, &global_model, &self.config, round)?;
 
             let theta = server.aggregate(&updates, round)?;
             global_model.set_trainable_vector(self.config.freeze, &theta)?;
 
-            let test_accuracy = global_model
-                .evaluate_accuracy(data.test().features(), data.test().labels())?;
+            let test_accuracy =
+                global_model.evaluate_accuracy(data.test().features(), data.test().labels())?;
             let test_loss =
                 global_model.evaluate_loss(data.test().features(), data.test().labels())?;
             let round_client_seconds: f64 = updates.iter().map(|u| u.compute_seconds).sum();
             cumulative_seconds += round_client_seconds;
-            let mean_train_loss = updates.iter().map(|u| u.train_loss).sum::<f32>()
-                / updates.len().max(1) as f32;
+            let mean_train_loss =
+                updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
             let selected_samples = updates.iter().map(|u| u.selected_samples).sum();
 
             rounds.push(RoundRecord {
@@ -131,56 +132,12 @@ impl Simulation {
         );
         self.run_labelled(label, data, initial_model)
     }
-
-    /// Executes the local updates of one round, in parallel when configured.
-    fn run_round(
-        &self,
-        participants: &[&Client],
-        global_model: &BlockNet,
-        round: usize,
-    ) -> Result<Vec<ClientUpdate>> {
-        if participants.is_empty() {
-            return Err(FlError::NoParticipants { round });
-        }
-        if !self.config.parallel || participants.len() == 1 {
-            return participants
-                .iter()
-                .map(|client| client.local_update(global_model, &self.config, round))
-                .collect();
-        }
-
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(participants.len());
-        let chunk_size = participants.len().div_ceil(threads);
-        let mut results: Vec<Result<Vec<ClientUpdate>>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in participants.chunks(chunk_size) {
-                let config = &self.config;
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|client| client.local_update(global_model, config, round))
-                        .collect::<Result<Vec<ClientUpdate>>>()
-                }));
-            }
-            for handle in handles {
-                results.push(handle.join().expect("client update thread panicked"));
-            }
-        });
-        let mut updates = Vec::with_capacity(participants.len());
-        for chunk in results {
-            updates.extend(chunk?);
-        }
-        Ok(updates)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::ExecutionBackend;
     use crate::methods::Method;
     use crate::selection::SelectionStrategy;
     use fedft_data::federated::PartitionScheme;
@@ -222,7 +179,10 @@ mod tests {
         assert_eq!(result.rounds.len(), 3);
         assert!(result.rounds.iter().all(|r| r.participants == 4));
         assert!(result.total_client_seconds() > 0.0);
-        assert!(result.rounds.windows(2).all(|w| w[0].round + 1 == w[1].round));
+        assert!(result
+            .rounds
+            .windows(2)
+            .all(|w| w[0].round + 1 == w[1].round));
         assert!(result
             .rounds
             .windows(2)
@@ -232,19 +192,34 @@ mod tests {
     #[test]
     fn parallel_and_serial_runs_are_identical() {
         let (fed, model) = tiny_setup(4);
-        let serial = Simulation::new(quick_config(2)).unwrap().run(&fed, &model).unwrap();
-        let mut parallel_cfg = quick_config(2);
-        parallel_cfg.parallel = true;
-        let parallel = Simulation::new(parallel_cfg).unwrap().run(&fed, &model).unwrap();
+        let serial = Simulation::new(quick_config(2))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        let parallel_cfg = quick_config(2).with_execution(ExecutionBackend::Parallel);
+        let parallel = Simulation::new(parallel_cfg)
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
         assert_eq!(serial.rounds, parallel.rounds);
+        assert_eq!(serial.label, parallel.label);
     }
 
     #[test]
     fn runs_are_deterministic_in_the_seed() {
         let (fed, model) = tiny_setup(3);
-        let a = Simulation::new(quick_config(2).with_seed(1)).unwrap().run(&fed, &model).unwrap();
-        let b = Simulation::new(quick_config(2).with_seed(1)).unwrap().run(&fed, &model).unwrap();
-        let c = Simulation::new(quick_config(2).with_seed(2)).unwrap().run(&fed, &model).unwrap();
+        let a = Simulation::new(quick_config(2).with_seed(1))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        let b = Simulation::new(quick_config(2).with_seed(1))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        let c = Simulation::new(quick_config(2).with_seed(2))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
         assert_eq!(a.rounds, b.rounds);
         assert_ne!(a.rounds, c.rounds);
     }
@@ -275,7 +250,10 @@ mod tests {
     #[test]
     fn selection_strategy_reduces_selected_samples() {
         let (fed, model) = tiny_setup(4);
-        let all = Simulation::new(quick_config(1)).unwrap().run(&fed, &model).unwrap();
+        let all = Simulation::new(quick_config(1))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
         let ten_percent = Simulation::new(
             quick_config(1).with_selection(SelectionStrategy::Random { fraction: 0.1 }),
         )
@@ -296,12 +274,9 @@ mod tests {
         // Dataset with an empty shard.
         let empty_shard = Dataset::empty(fed.test().feature_dim(), 10);
         let shards = vec![fed.client(0).clone(), empty_shard];
-        let bad_fed = FederatedDataset::from_shards(
-            shards,
-            fed.test().clone(),
-            PartitionScheme::Iid,
-        )
-        .unwrap();
+        let bad_fed =
+            FederatedDataset::from_shards(shards, fed.test().clone(), PartitionScheme::Iid)
+                .unwrap();
         assert!(sim.run(&bad_fed, &model).is_err());
     }
 

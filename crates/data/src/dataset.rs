@@ -108,7 +108,10 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
         if let Some(&bad) = indices.iter().find(|&&i| i >= self.len()) {
             return Err(DataError::InvalidConfig {
-                what: format!("subset index {bad} out of bounds for {} samples", self.len()),
+                what: format!(
+                    "subset index {bad} out of bounds for {} samples",
+                    self.len()
+                ),
             });
         }
         Ok(Dataset {
@@ -149,7 +152,8 @@ impl Dataset {
         let mut order: Vec<usize> = (0..self.len()).collect();
         let mut r = rng::rng_for(seed, "dataset-shuffle");
         order.shuffle(&mut r);
-        self.subset(&order).expect("indices are in bounds by construction")
+        self.subset(&order)
+            .expect("indices are in bounds by construction")
     }
 
     /// Concatenates two datasets with identical feature width and class
@@ -276,7 +280,11 @@ mod tests {
         let mut orig = d.class_counts();
         orig.sort_unstable();
         assert_eq!(counts, orig);
-        assert_ne!(s.labels(), d.labels(), "seeded shuffle should move something");
+        assert_ne!(
+            s.labels(),
+            d.labels(),
+            "seeded shuffle should move something"
+        );
     }
 
     #[test]

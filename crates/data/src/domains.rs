@@ -116,11 +116,11 @@ impl DomainSpec {
                 });
             }
         }
-        if !(self.class_separation > 0.0)
-            || !(self.intra_class_std >= 0.0)
-            || !(self.noise_std >= 0.0)
-            || !(self.nuisance_std >= 0.0)
-        {
+        // Written positively so NaN fails every check.
+        let separation_ok = self.class_separation > 0.0;
+        let stds_ok =
+            self.intra_class_std >= 0.0 && self.noise_std >= 0.0 && self.nuisance_std >= 0.0;
+        if !separation_ok || !stds_ok {
             return Err(DataError::InvalidConfig {
                 what: format!("scales must be positive in domain `{}`", self.name),
             });
@@ -150,7 +150,13 @@ impl DomainSpec {
         let projection = self.generator_map();
         let prototypes = self.class_prototypes();
 
-        let train = self.generate_split(&projection, &prototypes, self.samples_per_class, seed, "train")?;
+        let train = self.generate_split(
+            &projection,
+            &prototypes,
+            self.samples_per_class,
+            seed,
+            "train",
+        )?;
         let test = self.generate_split(
             &projection,
             &prototypes,
@@ -237,8 +243,13 @@ impl DomainSpec {
                 &format!("domain-{}-class", self.name),
                 class as u64,
             );
-            let latent_noise =
-                init::normal(&mut r, per_class, self.latent_dim, 0.0, self.intra_class_std);
+            let latent_noise = init::normal(
+                &mut r,
+                per_class,
+                self.latent_dim,
+                0.0,
+                self.intra_class_std,
+            );
             let nuisance =
                 init::normal(&mut r, per_class, self.nuisance_dim, 0.0, self.nuisance_std);
             let feature_noise =
@@ -364,17 +375,29 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = cifar10_like().with_samples_per_class(5).generate(3).unwrap();
-        let b = cifar10_like().with_samples_per_class(5).generate(3).unwrap();
+        let a = cifar10_like()
+            .with_samples_per_class(5)
+            .generate(3)
+            .unwrap();
+        let b = cifar10_like()
+            .with_samples_per_class(5)
+            .generate(3)
+            .unwrap();
         assert_eq!(a.train, b.train);
-        let c = cifar10_like().with_samples_per_class(5).generate(4).unwrap();
+        let c = cifar10_like()
+            .with_samples_per_class(5)
+            .generate(4)
+            .unwrap();
         assert_ne!(a.train, c.train);
     }
 
     #[test]
     fn train_and_test_are_different_samples() {
         let bundle = quick(cifar10_like());
-        assert_ne!(bundle.train.features().row(0), bundle.test.features().row(0));
+        assert_ne!(
+            bundle.train.features().row(0),
+            bundle.test.features().row(0)
+        );
     }
 
     #[test]

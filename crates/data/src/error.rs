@@ -46,7 +46,9 @@ impl fmt::Display for DataError {
                 write!(f, "label {label} out of range for {num_classes} classes")
             }
             DataError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
-            DataError::EmptyDataset { op } => write!(f, "operation `{op}` requires a non-empty dataset"),
+            DataError::EmptyDataset { op } => {
+                write!(f, "operation `{op}` requires a non-empty dataset")
+            }
         }
     }
 }
@@ -72,16 +74,26 @@ mod tests {
 
     #[test]
     fn displays_mention_key_facts() {
-        assert!(DataError::LengthMismatch { features: 3, labels: 5 }
+        assert!(DataError::LengthMismatch {
+            features: 3,
+            labels: 5
+        }
+        .to_string()
+        .contains('5'));
+        assert!(DataError::LabelOutOfRange {
+            label: 9,
+            num_classes: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(DataError::InvalidConfig {
+            what: "alpha".into()
+        }
+        .to_string()
+        .contains("alpha"));
+        assert!(DataError::EmptyDataset { op: "split" }
             .to_string()
-            .contains('5'));
-        assert!(DataError::LabelOutOfRange { label: 9, num_classes: 4 }
-            .to_string()
-            .contains('9'));
-        assert!(DataError::InvalidConfig { what: "alpha".into() }
-            .to_string()
-            .contains("alpha"));
-        assert!(DataError::EmptyDataset { op: "split" }.to_string().contains("split"));
+            .contains("split"));
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl FederatedDataset {
     /// # Errors
     ///
     /// Returns [`DataError::InvalidConfig`] when no shards are provided.
-    pub fn from_shards(client_shards: Vec<Dataset>, test: Dataset, scheme: PartitionScheme) -> Result<Self> {
+    pub fn from_shards(
+        client_shards: Vec<Dataset>,
+        test: Dataset,
+        scheme: PartitionScheme,
+    ) -> Result<Self> {
         if client_shards.is_empty() {
             return Err(DataError::InvalidConfig {
                 what: "a federated dataset needs at least one client shard".into(),

@@ -123,10 +123,7 @@ fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, k: usize, alpha: f64) -> Vec<f
 /// Moves samples from the largest shards into shards below the minimum size.
 fn rebalance_small_shards(shards: &mut [Vec<usize>]) {
     loop {
-        let Some(small) = shards
-            .iter()
-            .position(|s| s.len() < MIN_SAMPLES_PER_CLIENT)
-        else {
+        let Some(small) = shards.iter().position(|s| s.len() < MIN_SAMPLES_PER_CLIENT) else {
             return;
         };
         let largest = shards
@@ -291,7 +288,11 @@ mod tests {
         let d = dataset(50, 4);
         let shards = dirichlet_partition(&d, 20, 0.01, 2).unwrap();
         for shard in &shards {
-            assert!(shard.len() >= MIN_SAMPLES_PER_CLIENT, "shard too small: {}", shard.len());
+            assert!(
+                shard.len() >= MIN_SAMPLES_PER_CLIENT,
+                "shard too small: {}",
+                shard.len()
+            );
         }
         assert_is_partition(&shards, d.len());
     }

@@ -64,7 +64,9 @@ impl BatchSampler {
     /// Returns [`DataError::EmptyDataset`] when the dataset has no samples.
     pub fn epoch_batches(&self, dataset: &Dataset, epoch: u64) -> Result<Vec<Batch>> {
         if dataset.is_empty() {
-            return Err(DataError::EmptyDataset { op: "epoch_batches" });
+            return Err(DataError::EmptyDataset {
+                op: "epoch_batches",
+            });
         }
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         let mut r = rng::rng_for_indexed(self.seed, "batch-sampler", epoch);

@@ -142,13 +142,25 @@ impl BlockNet {
     pub fn new(config: &BlockNetConfig, seed: u64) -> Self {
         config.validate().expect("invalid BlockNetConfig");
         let low = Sequential::new()
-            .push(Box::new(Dense::new(config.input_dim, config.hidden_low, seed)))
+            .push(Box::new(Dense::new(
+                config.input_dim,
+                config.hidden_low,
+                seed,
+            )))
             .push(Box::new(Relu::new(config.hidden_low)));
         let mid = Sequential::new()
-            .push(Box::new(Dense::new(config.hidden_low, config.hidden_mid, seed.wrapping_add(1))))
+            .push(Box::new(Dense::new(
+                config.hidden_low,
+                config.hidden_mid,
+                seed.wrapping_add(1),
+            )))
             .push(Box::new(Relu::new(config.hidden_mid)));
         let up = Sequential::new()
-            .push(Box::new(Dense::new(config.hidden_mid, config.hidden_up, seed.wrapping_add(2))))
+            .push(Box::new(Dense::new(
+                config.hidden_mid,
+                config.hidden_up,
+                seed.wrapping_add(2),
+            )))
             .push(Box::new(Relu::new(config.hidden_up)));
         let classifier = Sequential::new().push(Box::new(Dense::new(
             config.hidden_up,
@@ -324,7 +336,11 @@ impl BlockNet {
     ///
     /// Returns [`NnError::ParamLengthMismatch`] when the vector length does
     /// not match the trainable parameter count.
-    pub fn set_trainable_vector(&mut self, freeze: FreezeLevel, vector: &ParamVector) -> Result<()> {
+    pub fn set_trainable_vector(
+        &mut self,
+        freeze: FreezeLevel,
+        vector: &ParamVector,
+    ) -> Result<()> {
         let mut params: Vec<&mut Matrix> = self.blocks[freeze.frozen_blocks()..]
             .iter_mut()
             .flat_map(|b| b.params_mut())
@@ -415,7 +431,9 @@ mod tests {
         let net = BlockNet::new(&config(), 2);
         let mut other = BlockNet::new(&config(), 99);
         let theta = net.trainable_vector(FreezeLevel::Moderate);
-        other.set_trainable_vector(FreezeLevel::Moderate, &theta).unwrap();
+        other
+            .set_trainable_vector(FreezeLevel::Moderate, &theta)
+            .unwrap();
         assert_eq!(other.trainable_vector(FreezeLevel::Moderate), theta);
         // The frozen part of `other` remains different from `net`'s.
         assert_ne!(other.full_vector(), net.full_vector());
@@ -427,14 +445,19 @@ mod tests {
         let mut other = BlockNet::new(&config(), 99);
         other.set_full_vector(&net.full_vector()).unwrap();
         let x = Matrix::full(3, 6, 0.5);
-        assert!(net.forward(&x).unwrap().approx_eq(&other.forward(&x).unwrap(), 1e-6));
+        assert!(net
+            .forward(&x)
+            .unwrap()
+            .approx_eq(&other.forward(&x).unwrap(), 1e-6));
     }
 
     #[test]
     fn set_trainable_vector_rejects_wrong_length() {
         let mut net = BlockNet::new(&config(), 2);
         let bad = ParamVector::from_values(vec![0.0; 3]);
-        assert!(net.set_trainable_vector(FreezeLevel::Classifier, &bad).is_err());
+        assert!(net
+            .set_trainable_vector(FreezeLevel::Classifier, &bad)
+            .is_err());
     }
 
     #[test]
@@ -447,7 +470,8 @@ mod tests {
         let mut sgd = Sgd::new(SgdConfig::default()).unwrap();
         let x = Matrix::from_rows(&[vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.1]]).unwrap();
         for _ in 0..10 {
-            net.train_batch(&x, &[1], &mut sgd, FreezeLevel::Moderate).unwrap();
+            net.train_batch(&x, &[1], &mut sgd, FreezeLevel::Moderate)
+                .unwrap();
         }
         let frozen_after = {
             let params: Vec<&Matrix> = net.blocks[..2].iter().flat_map(|b| b.params()).collect();
@@ -479,7 +503,8 @@ mod tests {
         let labels = [0usize, 1, 2];
         let before = net.evaluate_loss(&x, &labels).unwrap();
         for _ in 0..100 {
-            net.train_batch(&x, &labels, &mut sgd, FreezeLevel::Full).unwrap();
+            net.train_batch(&x, &labels, &mut sgd, FreezeLevel::Full)
+                .unwrap();
         }
         let after = net.evaluate_loss(&x, &labels).unwrap();
         assert!(after < before * 0.5, "loss {before} -> {after}");
@@ -513,13 +538,16 @@ mod tests {
         let net = BlockNet::new(&config(), 1);
         let full = net.flops_per_sample(FreezeLevel::Full).training_flops();
         let moderate = net.flops_per_sample(FreezeLevel::Moderate).training_flops();
-        let classifier = net.flops_per_sample(FreezeLevel::Classifier).training_flops();
+        let classifier = net
+            .flops_per_sample(FreezeLevel::Classifier)
+            .training_flops();
         assert!(full > moderate);
         assert!(moderate > classifier);
         // Inference cost is identical regardless of freezing.
         assert_eq!(
             net.flops_per_sample(FreezeLevel::Full).inference_flops(),
-            net.flops_per_sample(FreezeLevel::Classifier).inference_flops()
+            net.flops_per_sample(FreezeLevel::Classifier)
+                .inference_flops()
         );
     }
 

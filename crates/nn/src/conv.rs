@@ -71,7 +71,9 @@ impl Conv2d {
         padding: usize,
         seed: u64,
     ) -> Result<Self> {
-        if kernel == 0 || kernel > input_shape.height + 2 * padding || kernel > input_shape.width + 2 * padding
+        if kernel == 0
+            || kernel > input_shape.height + 2 * padding
+            || kernel > input_shape.width + 2 * padding
         {
             return Err(NnError::InvalidConfig {
                 what: format!(
@@ -151,9 +153,9 @@ impl Layer for Conv2d {
                                 }
                             }
                         }
-                        out_row[oc * out_shape.height * out_shape.width
-                            + oy * out_shape.width
-                            + ox] = acc;
+                        out_row
+                            [oc * out_shape.height * out_shape.width + oy * out_shape.width + ox] =
+                            acc;
                     }
                 }
             }
@@ -182,9 +184,8 @@ impl Layer for Conv2d {
             for oc in 0..self.out_channels {
                 for oy in 0..out_shape.height {
                     for ox in 0..out_shape.width {
-                        let go = go_row[oc * out_shape.height * out_shape.width
-                            + oy * out_shape.width
-                            + ox];
+                        let go = go_row
+                            [oc * out_shape.height * out_shape.width + oy * out_shape.width + ox];
                         if go == 0.0 {
                             continue;
                         }
@@ -197,8 +198,7 @@ impl Layer for Conv2d {
                                     if let Some(idx) = self.input_index(ic, iy, ix) {
                                         let w_row =
                                             ic * self.kernel * self.kernel + ky * self.kernel + kx;
-                                        let dw = self.grad_weight.get(w_row, oc)
-                                            + in_row[idx] * go;
+                                        let dw = self.grad_weight.get(w_row, oc) + in_row[idx] * go;
                                         self.grad_weight.set(w_row, oc, dw);
                                         let gi = grad_input.get(sample, idx)
                                             + self.weight.get(w_row, oc) * go;
@@ -233,10 +233,7 @@ impl Layer for Conv2d {
 
     fn forward_flops_per_sample(&self) -> u64 {
         let out = self.output_shape();
-        2 * (out.len()
-            * self.input_shape.channels
-            * self.kernel
-            * self.kernel) as u64
+        2 * (out.len() * self.input_shape.channels * self.kernel * self.kernel) as u64
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -262,8 +259,8 @@ impl MaxPool2d {
     /// divide the spatial dimensions.
     pub fn new(input_shape: VolumeShape, window: usize) -> Result<Self> {
         if window == 0
-            || input_shape.height % window != 0
-            || input_shape.width % window != 0
+            || !input_shape.height.is_multiple_of(window)
+            || !input_shape.width.is_multiple_of(window)
         {
             return Err(NnError::InvalidConfig {
                 what: format!(

@@ -46,10 +46,7 @@ impl fmt::Display for NnError {
                 write!(f, "backward called before forward on layer `{layer}`")
             }
             NnError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
-            NnError::LabelOutOfRange {
-                label,
-                num_classes,
-            } => write!(
+            NnError::LabelOutOfRange { label, num_classes } => write!(
                 f,
                 "label {label} out of range for a model with {num_classes} classes"
             ),

@@ -19,13 +19,14 @@ use std::fmt;
 ///
 /// `Moderate` corresponds to the paper's default setting ("fine-tuned from
 /// layer 3, with layer 1 and layer 2 being fixed").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum FreezeLevel {
     /// Train the entire model (standard FedAvg/FedProx behaviour).
     Full,
     /// Freeze only the lowest block.
     Large,
     /// Freeze the lower two blocks; the paper's default FedFT setting.
+    #[default]
     Moderate,
     /// Freeze everything except the classifier head.
     Classifier,
@@ -55,12 +56,6 @@ impl FreezeLevel {
     }
 }
 
-impl Default for FreezeLevel {
-    fn default() -> Self {
-        FreezeLevel::Moderate
-    }
-}
-
 impl fmt::Display for FreezeLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -79,7 +74,10 @@ mod tests {
 
     #[test]
     fn frozen_block_counts_are_monotone() {
-        let counts: Vec<usize> = FreezeLevel::all().iter().map(|l| l.frozen_blocks()).collect();
+        let counts: Vec<usize> = FreezeLevel::all()
+            .iter()
+            .map(|l| l.frozen_blocks())
+            .collect();
         assert_eq!(counts, vec![0, 1, 2, 3]);
     }
 

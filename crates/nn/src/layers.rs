@@ -239,7 +239,13 @@ impl Layer for Dropout {
             input.rows(),
             input.cols(),
             (0..input.len())
-                .map(|_| if r.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if r.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
         )?;
         let out = input.hadamard(&mask)?;
@@ -350,10 +356,16 @@ impl Layer for BatchNorm1d {
             for c in 0..self.features {
                 let rm = self.running_mean.get(0, c);
                 let rv = self.running_var.get(0, c);
-                self.running_mean
-                    .set(0, c, (1.0 - self.momentum) * rm + self.momentum * mean.get(0, c));
-                self.running_var
-                    .set(0, c, (1.0 - self.momentum) * rv + self.momentum * var.get(0, c));
+                self.running_mean.set(
+                    0,
+                    c,
+                    (1.0 - self.momentum) * rm + self.momentum * mean.get(0, c),
+                );
+                self.running_var.set(
+                    0,
+                    c,
+                    (1.0 - self.momentum) * rv + self.momentum * var.get(0, c),
+                );
             }
             (mean, var)
         } else {
@@ -366,8 +378,8 @@ impl Layer for BatchNorm1d {
         let mut normalised = Matrix::zeros(input.rows(), self.features);
         let mut out = Matrix::zeros(input.rows(), self.features);
         for r in 0..input.rows() {
-            for c in 0..self.features {
-                let x_hat = (input.get(r, c) - mean.get(0, c)) * std_inv[c];
+            for (c, &si) in std_inv.iter().enumerate() {
+                let x_hat = (input.get(r, c) - mean.get(0, c)) * si;
                 normalised.set(r, c, x_hat);
                 out.set(r, c, self.gamma.get(0, c) * x_hat + self.beta.get(0, c));
             }
@@ -384,10 +396,9 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "batchnorm1d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "batchnorm1d",
+        })?;
         let n = grad_output.rows() as f32;
         let mut grad_input = Matrix::zeros(grad_output.rows(), self.features);
 
@@ -406,8 +417,7 @@ impl Layer for BatchNorm1d {
             for r in 0..grad_output.rows() {
                 let dy = grad_output.get(r, c);
                 let x_hat = cache.normalised.get(r, c);
-                let dx = gamma * cache.std_inv[c] / n
-                    * (n * dy - sum_dy - x_hat * sum_dy_xhat);
+                let dx = gamma * cache.std_inv[c] / n * (n * dy - sum_dy - x_hat * sum_dy_xhat);
                 grad_input.set(r, c, dx);
             }
         }
@@ -510,7 +520,9 @@ mod tests {
         let mut layer = Dense::new(2, 2, 5);
         let x = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 0.25]]).unwrap();
         let y = layer.forward(&x, true).unwrap();
-        layer.backward(&Matrix::full(y.rows(), y.cols(), 1.0)).unwrap();
+        layer
+            .backward(&Matrix::full(y.rows(), y.cols(), 1.0))
+            .unwrap();
         let analytic = layer.grads()[0].clone();
 
         let eps = 1e-2;
@@ -623,7 +635,9 @@ mod tests {
         for _ in 0..50 {
             bn.forward(&x, true).unwrap();
         }
-        let y = bn.forward(&Matrix::from_rows(&[vec![4.0]]).unwrap(), false).unwrap();
+        let y = bn
+            .forward(&Matrix::from_rows(&[vec![4.0]]).unwrap(), false)
+            .unwrap();
         // 4.0 is the running mean, so the normalised output is near zero.
         assert!(y.get(0, 0).abs() < 0.2, "got {}", y.get(0, 0));
     }
@@ -634,12 +648,8 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.3, -1.2], vec![1.1, 0.4], vec![-0.5, 2.0]]).unwrap();
         let y = bn.forward(&x, true).unwrap();
         // Objective: weighted sum so gradients differ per element.
-        let weights = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![-1.0, 0.5],
-            vec![0.25, -2.0],
-        ])
-        .unwrap();
+        let weights =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.25, -2.0]]).unwrap();
         let analytic = bn.backward(&weights).unwrap();
         let _ = y;
 

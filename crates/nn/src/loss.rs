@@ -138,9 +138,9 @@ mod tests {
                 plus.set(r, c, logits.get(r, c) + eps);
                 let mut minus = logits.clone();
                 minus.set(r, c, logits.get(r, c) - eps);
-                let numeric =
-                    (loss.loss(&plus, &labels).unwrap() - loss.loss(&minus, &labels).unwrap())
-                        / (2.0 * eps);
+                let numeric = (loss.loss(&plus, &labels).unwrap()
+                    - loss.loss(&minus, &labels).unwrap())
+                    / (2.0 * eps);
                 assert!((numeric - grad.get(r, c)).abs() < 1e-3);
             }
         }

@@ -51,7 +51,10 @@ impl SgdConfig {
         }
         if self.weight_decay < 0.0 {
             return Err(NnError::InvalidConfig {
-                what: format!("weight decay must be non-negative, got {}", self.weight_decay),
+                what: format!(
+                    "weight decay must be non-negative, got {}",
+                    self.weight_decay
+                ),
             });
         }
         Ok(())
@@ -131,7 +134,10 @@ impl Sgd {
             });
         }
         if self.velocities.is_empty() {
-            self.velocities = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.velocities = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
         }
         if self.velocities.len() != params.len() {
             return Err(NnError::InvalidConfig {
@@ -205,10 +211,29 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(SgdConfig::default().validate().is_ok());
-        assert!(SgdConfig { learning_rate: 0.0, ..Default::default() }.validate().is_err());
-        assert!(SgdConfig { momentum: 1.0, ..Default::default() }.validate().is_err());
-        assert!(SgdConfig { weight_decay: -0.1, ..Default::default() }.validate().is_err());
-        assert!(Sgd::new(SgdConfig { learning_rate: -1.0, ..Default::default() }).is_err());
+        assert!(SgdConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgdConfig {
+            momentum: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgdConfig {
+            weight_decay: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Sgd::new(SgdConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -276,10 +301,7 @@ mod tests {
             weight_decay: 0.0,
         })
         .unwrap();
-        sgd.set_proximal(Some(ProximalTerm {
-            mu: 1.0,
-            reference,
-        }));
+        sgd.set_proximal(Some(ProximalTerm { mu: 1.0, reference }));
         let mut w = Matrix::full(1, 3, 5.0);
         let zero_grad = Matrix::zeros(1, 3);
         for _ in 0..300 {

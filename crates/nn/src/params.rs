@@ -87,7 +87,8 @@ impl ParamVector {
         let mut offset = 0;
         for p in params.iter_mut() {
             let n = p.len();
-            p.as_mut_slice().copy_from_slice(&self.values[offset..offset + n]);
+            p.as_mut_slice()
+                .copy_from_slice(&self.values[offset..offset + n]);
             offset += n;
         }
         Ok(())
@@ -196,7 +197,10 @@ mod tests {
         let mut m = Matrix::zeros(3, 1);
         assert!(matches!(
             v.write_to(&mut [&mut m]).unwrap_err(),
-            NnError::ParamLengthMismatch { expected: 3, found: 2 }
+            NnError::ParamLengthMismatch {
+                expected: 3,
+                found: 2
+            }
         ));
     }
 

@@ -17,7 +17,10 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .field("parameters", &self.parameter_count())
             .finish()
     }
@@ -84,7 +87,10 @@ impl Sequential {
     /// Mutable views of all parameters, in the same order as
     /// [`Sequential::params`].
     pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Gradients of all parameters, in the same order as
@@ -107,7 +113,10 @@ impl Sequential {
 
     /// Estimated forward FLOPs for one sample.
     pub fn forward_flops_per_sample(&self) -> u64 {
-        self.layers.iter().map(|l| l.forward_flops_per_sample()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.forward_flops_per_sample())
+            .sum()
     }
 
     /// Estimated backward FLOPs for one sample.
@@ -187,7 +196,9 @@ mod tests {
         ])
         .unwrap();
         let labels = [0usize, 1, 2];
-        let initial = loss.loss(&net.forward(&x, false).unwrap(), &labels).unwrap();
+        let initial = loss
+            .loss(&net.forward(&x, false).unwrap(), &labels)
+            .unwrap();
         for _ in 0..200 {
             let logits = net.forward(&x, true).unwrap();
             let (_, grad) = loss.forward_backward(&logits, &labels).unwrap();
@@ -198,7 +209,9 @@ mod tests {
                 p.add_scaled_assign(g, -0.5).unwrap();
             }
         }
-        let trained = loss.loss(&net.forward(&x, false).unwrap(), &labels).unwrap();
+        let trained = loss
+            .loss(&net.forward(&x, false).unwrap(), &labels)
+            .unwrap();
         assert!(
             trained < initial * 0.5,
             "training did not reduce loss: {initial} -> {trained}"

@@ -132,7 +132,8 @@ impl Trainer {
         let mut order: Vec<usize> = (0..features.rows()).collect();
         let mut last_epoch_loss = 0.0;
         for epoch in 0..self.config.epochs {
-            let mut shuffle_rng = rng::rng_for_indexed(self.config.seed, "trainer-shuffle", epoch as u64);
+            let mut shuffle_rng =
+                rng::rng_for_indexed(self.config.seed, "trainer-shuffle", epoch as u64);
             order.shuffle(&mut shuffle_rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0;
@@ -202,9 +203,23 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(TrainerConfig::default().validate().is_ok());
-        assert!(TrainerConfig { epochs: 0, ..Default::default() }.validate().is_err());
-        assert!(TrainerConfig { batch_size: 0, ..Default::default() }.validate().is_err());
-        assert!(Trainer::new(TrainerConfig { epochs: 0, ..Default::default() }).is_err());
+        assert!(TrainerConfig {
+            epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrainerConfig {
+            batch_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Trainer::new(TrainerConfig {
+            epochs: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn normal<R: Rng + ?Sized>(
     mean: f32,
     std: f32,
 ) -> Matrix {
-    assert!(std.is_finite() && std >= 0.0, "std must be finite and non-negative");
+    assert!(
+        std.is_finite() && std >= 0.0,
+        "std must be finite and non-negative"
+    );
     if std == 0.0 {
         return Matrix::full(rows, cols, mean);
     }
@@ -105,7 +108,10 @@ mod tests {
         let mean = m.mean();
         let var = m.map(|v| (v - mean) * (v - mean)).mean();
         let expected = 2.0 / 256.0;
-        assert!((var - expected).abs() < expected * 0.3, "var={var}, expected≈{expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.3,
+            "var={var}, expected≈{expected}"
+        );
     }
 
     #[test]

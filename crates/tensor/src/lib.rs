@@ -36,9 +36,11 @@
 #![warn(missing_docs)]
 
 mod error;
+mod kernels;
 mod matrix;
 
 pub mod init;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

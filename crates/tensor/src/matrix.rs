@@ -1,6 +1,6 @@
 //! Row-major dense `f32` matrix.
 
-use crate::{Result, TensorError};
+use crate::{kernels, Result, TensorError};
 use serde::{Deserialize, Serialize};
 
 /// A dense, row-major matrix of `f32` values.
@@ -215,7 +215,11 @@ impl Matrix {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row(&self, row: usize) -> &[f32] {
-        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -225,7 +229,11 @@ impl Matrix {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
-        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -235,8 +243,14 @@ impl Matrix {
     ///
     /// Panics if `col >= self.cols()`.
     pub fn column(&self, col: usize) -> Vec<f32> {
-        assert!(col < self.cols, "col {col} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+        assert!(
+            col < self.cols,
+            "col {col} out of bounds ({} cols)",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + col])
+            .collect()
     }
 
     /// Iterator over rows as slices.
@@ -296,13 +310,45 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, computed with the cache-blocked,
+    /// register-tiled kernel in [`crate::kernels`] (row-parallel on
+    /// multi-core hosts for large shapes; results are identical for any
+    /// thread count).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols() == other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernels::gemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// Matrix product `self * other` via the reference triple loop.
+    ///
+    /// Kept as the correctness oracle for the blocked kernel (equivalence
+    /// tests and benchmark comparisons); not used on any hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -328,7 +374,11 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Matrix product `self^T * other` without materialising the transpose.
+    /// Matrix product `self^T * other`.
+    ///
+    /// Materialises the (cheap, `O(rows·cols)`) transpose and dispatches to
+    /// the blocked kernel, which beats the transpose-free scattered-write
+    /// loop for every shape the workspace uses.
     ///
     /// # Errors
     ///
@@ -343,23 +393,23 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let at = self.transpose();
+        kernels::gemm_nn(
+            self.cols,
+            self.rows,
+            other.cols,
+            &at.data,
+            &other.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
-    /// Matrix product `self * other^T` without materialising the transpose.
+    /// Matrix product `self * other^T`.
+    ///
+    /// Materialises the (cheap) transpose of `other` and dispatches to the
+    /// blocked kernel; the row-dot-product formulation it replaces could not
+    /// reuse loaded rows across outputs.
     ///
     /// # Errors
     ///
@@ -374,17 +424,15 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        let bt = other.transpose();
+        kernels::gemm_nn(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &bt.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 

@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn derive_seed_indexed_distinguishes_indices() {
-        let seeds: Vec<u64> = (0..100).map(|i| derive_seed_indexed(3, "client", i)).collect();
+        let seeds: Vec<u64> = (0..100)
+            .map(|i| derive_seed_indexed(3, "client", i))
+            .collect();
         let mut unique = seeds.clone();
         unique.sort_unstable();
         unique.dedup();

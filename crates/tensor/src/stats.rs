@@ -202,7 +202,12 @@ mod tests {
     use super::*;
 
     fn logits() -> Matrix {
-        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0], vec![5.0, 1.0, 1.0]]).unwrap()
+        Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+            vec![5.0, 1.0, 1.0],
+        ])
+        .unwrap()
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Equivalence tests for the blocked matrix-product kernels against the
+//! naive reference (`Matrix::matmul_naive` and explicit transposes), over
+//! randomised shapes that straddle every register-tile remainder case.
+
+use fedft_tensor::rng::rng_for_indexed;
+use fedft_tensor::{init, Matrix};
+
+const TOLERANCE: f32 = 1e-5;
+
+/// `N(0, 0.1)` inputs: products are ~1e-2, so the one-rounding-vs-two
+/// difference between the FMA kernel and the naive reference stays orders of
+/// magnitude below [`TOLERANCE`] even after the longest reduction here.
+fn random(rows: usize, cols: usize, case: u64, stream: &str) -> Matrix {
+    let mut r = rng_for_indexed(0xB10C, stream, case);
+    init::normal(&mut r, rows, cols, 0.0, 0.1)
+}
+
+/// Shapes covering: unit dims, sizes below/at/above the 4×4 register tile,
+/// non-multiples of the tile in every dimension, long-thin and short-wide
+/// panels, and a size large enough to cross the parallel-dispatch threshold.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, 7, 1),
+        (2, 2, 2),
+        (3, 4, 5),
+        (4, 4, 4),
+        (5, 5, 5),
+        (6, 9, 7),
+        (8, 8, 8),
+        (13, 11, 17),
+        (16, 16, 16),
+        (21, 33, 19),
+        (1, 64, 128),
+        (128, 64, 1),
+        (64, 3, 64),
+        (96, 96, 96),
+        (192, 192, 192), // crosses the parallel threshold on multi-core hosts
+    ]
+}
+
+#[test]
+fn blocked_matmul_matches_naive_reference() {
+    for (case, &(m, k, n)) in shapes().iter().enumerate() {
+        let a = random(m, k, case as u64, "nn-a");
+        let b = random(k, n, case as u64, "nn-b");
+        let blocked = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        assert!(
+            blocked.approx_eq(&naive, TOLERANCE),
+            "matmul mismatch at shape ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_tn_matches_explicit_transpose() {
+    for (case, &(m, k, n)) in shapes().iter().enumerate() {
+        // `a` is k×m so a^T · b is m×n.
+        let a = random(k, m, case as u64, "tn-a");
+        let b = random(k, n, case as u64, "tn-b");
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().matmul_naive(&b).unwrap();
+        assert_eq!(fused.shape(), (m, n));
+        assert!(
+            fused.approx_eq(&explicit, TOLERANCE),
+            "matmul_tn mismatch at shape ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_nt_matches_explicit_transpose() {
+    for (case, &(m, k, n)) in shapes().iter().enumerate() {
+        // `b` is n×k so a · b^T is m×n.
+        let a = random(m, k, case as u64, "nt-a");
+        let b = random(n, k, case as u64, "nt-b");
+        let fused = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul_naive(&b.transpose()).unwrap();
+        assert_eq!(fused.shape(), (m, n));
+        assert!(
+            fused.approx_eq(&explicit, TOLERANCE),
+            "matmul_nt mismatch at shape ({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn repeated_products_are_bit_identical() {
+    // The kernel must be deterministic run-to-run (and thread-count cannot
+    // change accumulation order): same inputs, bit-identical outputs.
+    let a = random(192, 192, 99, "det-a");
+    let b = random(192, 192, 99, "det-b");
+    let first = a.matmul(&b).unwrap();
+    for _ in 0..3 {
+        assert_eq!(a.matmul(&b).unwrap(), first);
+    }
+}

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example ablation_temperature`
 
 use fedft::core::pretrain::pretrain_global_model;
-use fedft::core::{FlConfig, SelectionStrategy, Simulation};
+use fedft::core::{ExecutionBackend, FlConfig, SelectionStrategy, Simulation};
 use fedft::data::federated::PartitionScheme;
 use fedft::data::{domains, FederatedDataset};
 use fedft::nn::BlockNetConfig;
@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = domains::source_imagenet32()
         .with_samples_per_class(120)
         .generate(1)?;
-    let target = domains::cifar100_like().with_samples_per_class(8).generate(2)?;
+    let target = domains::cifar100_like()
+        .with_samples_per_class(8)
+        .generate(2)?;
     let fed = FederatedDataset::partition(
         &target.train,
         target.test.clone(),
@@ -27,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes());
     let global = pretrain_global_model(&model_cfg, &source, 20, 7)?;
 
-    let base = FlConfig::default().with_rounds(8).with_seed(17);
+    let base = FlConfig::default()
+        .with_rounds(8)
+        .with_seed(17)
+        .with_execution(ExecutionBackend::Parallel);
 
     // Baseline: random selection at the same proportion.
     let rds_config = base

@@ -8,7 +8,7 @@
 
 use fedft::core::baseline::centralised_baseline;
 use fedft::core::pretrain::pretrain_global_model;
-use fedft::core::{FlConfig, Method, Simulation};
+use fedft::core::{ExecutionBackend, FlConfig, Method, Simulation};
 use fedft::data::federated::PartitionScheme;
 use fedft::data::{domains, FederatedDataset};
 use fedft::nn::{BlockNet, BlockNetConfig};
@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pretrained = pretrain_global_model(&model_cfg, &source, 20, 7)?;
     let scratch = BlockNet::new(&model_cfg, 7);
 
-    let base = FlConfig::default().with_rounds(10).with_seed(13);
+    let base = FlConfig::default()
+        .with_rounds(10)
+        .with_seed(13)
+        .with_execution(ExecutionBackend::Parallel);
     let methods = [
         Method::FedAvgScratch,
         Method::FedAvg,
@@ -45,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for method in methods {
         let config = method.configure(base.clone());
-        let initial = if method.uses_pretraining() { &pretrained } else { &scratch };
+        let initial = if method.uses_pretraining() {
+            &pretrained
+        } else {
+            &scratch
+        };
         let result = Simulation::new(config)?.run_labelled(method.name(), &fed, initial)?;
         println!(
             "{:<24} best accuracy {:>5.1}%",

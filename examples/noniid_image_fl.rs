@@ -7,7 +7,7 @@
 
 use fedft::analysis::Table;
 use fedft::core::pretrain::pretrain_global_model;
-use fedft::core::{FlConfig, Method, RunResult, Simulation};
+use fedft::core::{ExecutionBackend, FlConfig, Method, RunResult, Simulation};
 use fedft::data::federated::PartitionScheme;
 use fedft::data::{domains, FederatedDataset};
 use fedft::nn::{BlockNet, BlockNetConfig};
@@ -18,11 +18,18 @@ fn run_lineup(
     scratch: &BlockNet,
     rounds: usize,
 ) -> Result<Vec<RunResult>, Box<dyn std::error::Error>> {
-    let base = FlConfig::default().with_rounds(rounds).with_seed(5);
+    let base = FlConfig::default()
+        .with_rounds(rounds)
+        .with_seed(5)
+        .with_execution(ExecutionBackend::Parallel);
     let mut results = Vec::new();
     for method in Method::table2_lineup(0.1) {
         let config = method.configure(base.clone());
-        let initial = if method.uses_pretraining() { pretrained } else { scratch };
+        let initial = if method.uses_pretraining() {
+            pretrained
+        } else {
+            scratch
+        };
         results.push(Simulation::new(config)?.run_labelled(method.name(), fed, initial)?);
     }
     Ok(results)
@@ -32,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = domains::source_imagenet32()
         .with_samples_per_class(120)
         .generate(1)?;
-    let target = domains::cifar10_like().with_samples_per_class(20).generate(2)?;
+    let target = domains::cifar10_like()
+        .with_samples_per_class(20)
+        .generate(2)?;
     let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes());
     let pretrained = pretrain_global_model(&model_cfg, &source, 20, 7)?;
     let scratch = BlockNet::new(&model_cfg, 7);

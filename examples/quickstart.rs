@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use fedft::core::pretrain::pretrain_global_model;
-use fedft::core::{FlConfig, Method, Simulation};
+use fedft::core::{ExecutionBackend, FlConfig, Method, Simulation};
 use fedft::data::federated::PartitionScheme;
 use fedft::data::{domains, FederatedDataset};
 use fedft::nn::BlockNetConfig;
@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = domains::source_imagenet32()
         .with_samples_per_class(120)
         .generate(1)?;
-    let target = domains::cifar10_like().with_samples_per_class(20).generate(2)?;
+    let target = domains::cifar10_like()
+        .with_samples_per_class(20)
+        .generate(2)?;
     let fed = FederatedDataset::partition(
         &target.train,
         target.test.clone(),
@@ -36,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let global = pretrain_global_model(&model_cfg, &source, 20, 7)?;
 
     // 3. Run FedAvg and FedFT-EDS with the same round budget and compare.
-    let base = FlConfig::default().with_rounds(15).with_seed(11);
+    let base = FlConfig::default()
+        .with_rounds(15)
+        .with_seed(11)
+        .with_execution(ExecutionBackend::Parallel);
     for method in [Method::FedAvg, Method::FedFtEds { pds: 0.1 }] {
         let config = method.configure(base.clone());
         let result = Simulation::new(config)?.run_labelled(method.name(), &fed, &global)?;

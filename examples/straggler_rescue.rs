@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example straggler_rescue`
 
 use fedft::core::pretrain::pretrain_global_model;
-use fedft::core::{FlConfig, Method, Simulation};
+use fedft::core::{ExecutionBackend, FlConfig, Method, Simulation};
 use fedft::data::federated::PartitionScheme;
 use fedft::data::{domains, FederatedDataset};
 use fedft::nn::{BlockNet, BlockNetConfig};
@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = domains::source_imagenet32()
         .with_samples_per_class(120)
         .generate(1)?;
-    let target = domains::cifar10_like().with_samples_per_class(40).generate(2)?;
+    let target = domains::cifar10_like()
+        .with_samples_per_class(40)
+        .generate(2)?;
     let fed = FederatedDataset::partition(
         &target.train,
         target.test.clone(),
@@ -30,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pretrained = pretrain_global_model(&model_cfg, &source, 20, 7)?;
     let scratch = BlockNet::new(&model_cfg, 7);
 
-    let base = FlConfig::default().with_rounds(ROUNDS).with_seed(9);
+    let base = FlConfig::default()
+        .with_rounds(ROUNDS)
+        .with_seed(9)
+        .with_execution(ExecutionBackend::Parallel);
 
     // FedAvg under increasingly severe straggler dropout, against FedFT-EDS
     // with full participation.
@@ -39,8 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("FedAvg, 100% participation".into(), Method::FedAvg, 1.0),
         ("FedAvg, 20% participation".into(), Method::FedAvg, 0.2),
         ("FedAvg, 10% participation".into(), Method::FedAvg, 0.1),
-        ("FedFT-EDS (10%), full part.".into(), Method::FedFtEds { pds: 0.1 }, 1.0),
-        ("FedFT-EDS (50%), full part.".into(), Method::FedFtEds { pds: 0.5 }, 1.0),
+        (
+            "FedFT-EDS (10%), full part.".into(),
+            Method::FedFtEds { pds: 0.1 },
+            1.0,
+        ),
+        (
+            "FedFT-EDS (50%), full part.".into(),
+            Method::FedFtEds { pds: 0.5 },
+            1.0,
+        ),
     ];
 
     println!("{CLIENTS} clients, Dirichlet(0.1), {ROUNDS} rounds\n");
@@ -49,8 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "method", "best acc (%)", "client time (s)", "efficiency (%/s)"
     );
     for (label, method, participation) in scenarios {
-        let config = method.configure(base.clone()).with_participation(participation);
-        let initial = if method.uses_pretraining() { &pretrained } else { &scratch };
+        let config = method
+            .configure(base.clone())
+            .with_participation(participation);
+        let initial = if method.uses_pretraining() {
+            &pretrained
+        } else {
+            &scratch
+        };
         let result = Simulation::new(config)?.run_labelled(label.clone(), &fed, initial)?;
         println!(
             "{:<30} {:>12.2} {:>16.1} {:>18.4}",

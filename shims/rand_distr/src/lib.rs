@@ -1,0 +1,334 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the three distributions the workspace samples from — normal
+//! (Box–Muller), uniform and gamma (Marsaglia–Tsang) — over the `rand` shim's
+//! [`RngCore`]/[`Rng`] traits. Streams differ from the real `rand_distr`
+//! (which uses ziggurat tables); the workspace only relies on determinism and
+//! distributional correctness, never on specific stream values.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SampleStandard};
+use std::fmt;
+
+/// Types that can be sampled from a distribution (`rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Float operations shared by the `f32` and `f64` instantiations of the
+/// distributions in this crate.
+pub trait Float: Copy + PartialOrd + SampleStandard {
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// `self * pi * 2`.
+    fn two_pi() -> Self;
+    /// True when finite.
+    fn is_finite(self) -> bool;
+    /// Addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Subtraction.
+    fn sub(self, rhs: Self) -> Self;
+    /// Multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Division.
+    fn div(self, rhs: Self) -> Self;
+    /// Conversion from a small integer literal domain.
+    fn from_f64(v: f64) -> Self;
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Float for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            fn ln(self) -> Self { self.ln() }
+            fn exp(self) -> Self { self.exp() }
+            fn sqrt(self) -> Self { self.sqrt() }
+            fn cos(self) -> Self { self.cos() }
+            fn two_pi() -> Self { std::f64::consts::TAU as $t }
+            fn is_finite(self) -> bool { self.is_finite() }
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            fn sub(self, rhs: Self) -> Self { self - rhs }
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+            fn div(self, rhs: Self) -> Self { self / rhs }
+            fn from_f64(v: f64) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+/// Draws `U(0, 1)` avoiding an exact zero (needed under logarithms).
+fn unit_open<F: Float, R: RngCore + ?Sized>(rng: &mut R) -> F {
+    loop {
+        let u = F::sample_standard(rng);
+        if u > F::ZERO {
+            return u;
+        }
+    }
+}
+
+/// Error constructing a [`Normal`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError::BadVariance`] when `std_dev` is negative or
+    /// non-finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < F::ZERO {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u1: F = unit_open(rng);
+        let u2: F = F::sample_standard(rng);
+        let r = F::from_f64(-2.0).mul(u1.ln()).sqrt();
+        let theta = F::two_pi().mul(u2);
+        self.mean.add(self.std_dev.mul(r.mul(theta.cos())))
+    }
+}
+
+/// The uniform distribution over `[low, high)` (or `[low, high]` for
+/// [`Uniform::new_inclusive`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F> {
+    low: F,
+    span: F,
+    inclusive: bool,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over the half-open interval `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low < high`.
+    pub fn new(low: F, high: F) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform {
+            low,
+            span: high.sub(low),
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low <= high`.
+    pub fn new_inclusive(low: F, high: F) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform {
+            low,
+            span: high.sub(low),
+            inclusive: true,
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // [0, 1) covers the inclusive case to within one ulp of `high`,
+        // which is all the callers (weight initialisation) need.
+        let u = F::sample_standard(rng);
+        let _ = self.inclusive;
+        self.low.add(u.mul(self.span))
+    }
+}
+
+/// Error constructing a [`Gamma`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GammaError {
+    /// The shape parameter was non-positive or non-finite.
+    ShapeTooSmall,
+    /// The scale parameter was non-positive or non-finite.
+    ScaleTooSmall,
+}
+
+impl fmt::Display for GammaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GammaError::ShapeTooSmall => write!(f, "gamma shape must be positive and finite"),
+            GammaError::ScaleTooSmall => write!(f, "gamma scale must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for GammaError {}
+
+/// The gamma distribution `Gamma(shape, scale)`, sampled with the
+/// Marsaglia–Tsang (2000) squeeze method; shapes below one use the
+/// `Gamma(shape + 1)` boosting identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma<F> {
+    shape: F,
+    scale: F,
+}
+
+impl<F: Float> Gamma<F> {
+    /// Creates `Gamma(shape, scale)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either parameter is non-positive or non-finite.
+    pub fn new(shape: F, scale: F) -> Result<Self, GammaError> {
+        // Written positively so NaN fails the checks.
+        let shape_ok = shape.is_finite() && shape > F::ZERO;
+        if !shape_ok {
+            return Err(GammaError::ShapeTooSmall);
+        }
+        let scale_ok = scale.is_finite() && scale > F::ZERO;
+        if !scale_ok {
+            return Err(GammaError::ScaleTooSmall);
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    fn sample_shape_ge_one<R: RngCore + ?Sized>(shape: F, rng: &mut R) -> F {
+        let d = shape.sub(F::from_f64(1.0 / 3.0));
+        let c = F::ONE.div(F::from_f64(9.0).mul(d).sqrt());
+        let std_normal = Normal::new(F::ZERO, F::ONE).expect("unit normal is valid");
+        loop {
+            let x = std_normal.sample(rng);
+            let v = F::ONE.add(c.mul(x));
+            if v <= F::ZERO {
+                continue;
+            }
+            let v3 = v.mul(v).mul(v);
+            let u: F = unit_open(rng);
+            let x2 = x.mul(x);
+            // Squeeze check, then the exact acceptance test.
+            if u < F::ONE.sub(F::from_f64(0.0331).mul(x2).mul(x2)) {
+                return d.mul(v3);
+            }
+            if u.ln()
+                < F::from_f64(0.5)
+                    .mul(x2)
+                    .add(d.mul(F::ONE.sub(v3).add(v3.ln())))
+            {
+                return d.mul(v3);
+            }
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Gamma<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let boosted = if self.shape < F::ONE {
+            // Gamma(a) = Gamma(a + 1) * U^(1/a)
+            let g = Self::sample_shape_ge_one(self.shape.add(F::ONE), rng);
+            let u: F = unit_open(rng);
+            let inv_shape = F::ONE.div(self.shape);
+            g.mul(u.ln().mul(inv_shape).exp())
+        } else {
+            Self::sample_shape_ge_one(self.shape, rng)
+        };
+        boosted.mul(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = rng(1);
+        let d = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_std() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut r = rng(2);
+        let d = Uniform::new(-1.5f32, 2.5);
+        for _ in 0..2000 {
+            let v = d.sample(&mut r);
+            assert!((-1.5..2.5).contains(&v));
+        }
+        let inc = Uniform::new_inclusive(0.25f32, 0.25);
+        assert_eq!(inc.sample(&mut r), 0.25);
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut r = rng(3);
+        for &(shape, scale) in &[(0.1f64, 1.0f64), (0.5, 2.0), (1.0, 1.0), (4.0, 0.5)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let n = 40_000;
+            let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+            let expected = shape * scale;
+            assert!(
+                (mean - expected).abs() < 0.05 + expected * 0.05,
+                "shape={shape} scale={scale}: mean={mean}, expected={expected}"
+            );
+            assert!((0..100).all(|_| d.sample(&mut r) >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_rejects_bad_parameters() {
+        assert!(Gamma::new(0.0f64, 1.0).is_err());
+        assert!(Gamma::new(-1.0f64, 1.0).is_err());
+        assert!(Gamma::new(1.0f64, 0.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+}

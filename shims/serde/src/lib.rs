@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in environments without crates.io access, so the real
+//! `serde` cannot be fetched. The repo only uses serde as an API commitment
+//! (`#[derive(Serialize, Deserialize)]` on value types); no code path
+//! serialises anything yet. This shim keeps the exact import surface
+//! (`use serde::{Serialize, Deserialize};`) compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits, blanket-implemented for
+//!   every type;
+//! * re-exported no-op derive macros from the `serde_derive` shim.
+//!
+//! Replacing the shim with the real crate is a manifest-only change, at which
+//! point the derives start generating real impls for the same types.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in environments without access to crates.io, so the
+//! real `serde` cannot be vendored. Nothing in the workspace actually
+//! serialises values yet — `#[derive(Serialize, Deserialize)]` is used purely
+//! as an API commitment — so the derives expand to nothing and the traits are
+//! blanket-implemented in the sibling `serde` shim. Swapping the shims for
+//! the real crates is a Cargo.toml-only change.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -152,7 +152,10 @@ fn pretrained_initialisation_beats_training_from_scratch_under_heterogeneity() {
         .unwrap()
         .run(&fed, &pretrained)
         .unwrap();
-    let from_scratch = Simulation::new(config).unwrap().run(&fed, &scratch).unwrap();
+    let from_scratch = Simulation::new(config)
+        .unwrap()
+        .run(&fed, &scratch)
+        .unwrap();
     assert!(
         with_pretraining.best_accuracy() >= from_scratch.best_accuracy() - 0.02,
         "pretraining should help (or at least not hurt) under strong heterogeneity: {} vs {}",
@@ -165,7 +168,10 @@ fn pretrained_initialisation_beats_training_from_scratch_under_heterogeneity() {
 fn fedprox_runs_and_stays_closer_to_the_global_model() {
     let (fed, pretrained, _) = setup(0.1, 4);
     let config = quick_config(3).with_algorithm(LocalAlgorithm::FedProx { mu: 0.1 });
-    let result = Simulation::new(config).unwrap().run(&fed, &pretrained).unwrap();
+    let result = Simulation::new(config)
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
     assert_eq!(result.rounds.len(), 3);
     assert!(result.best_accuracy() > 0.0);
 }
@@ -176,7 +182,10 @@ fn straggler_dropout_reduces_participants_but_training_still_progresses() {
     let config = Method::FedAvg
         .configure(quick_config(6))
         .with_participation(0.2);
-    let result = Simulation::new(config).unwrap().run(&fed, &pretrained).unwrap();
+    let result = Simulation::new(config)
+        .unwrap()
+        .run(&fed, &pretrained)
+        .unwrap();
     assert!(result.rounds.iter().all(|r| r.participants == 2));
     assert!(result.best_accuracy() > 0.2);
 }
@@ -195,11 +204,20 @@ fn freeze_levels_order_client_cost_and_communication_size() {
         let config = quick_config(2)
             .with_freeze(freeze)
             .with_selection(SelectionStrategy::All);
-        let result = Simulation::new(config).unwrap().run(&fed, &pretrained).unwrap();
+        let result = Simulation::new(config)
+            .unwrap()
+            .run(&fed, &pretrained)
+            .unwrap();
         let cost = result.total_client_seconds();
         let params = pretrained.trainable_parameter_count(freeze);
-        assert!(cost < previous_cost, "more freezing must cost less ({freeze})");
-        assert!(params < previous_params, "more freezing must transport fewer parameters");
+        assert!(
+            cost < previous_cost,
+            "more freezing must cost less ({freeze})"
+        );
+        assert!(
+            params < previous_params,
+            "more freezing must transport fewer parameters"
+        );
         previous_cost = cost;
         previous_params = params;
     }
@@ -207,14 +225,22 @@ fn freeze_levels_order_client_cost_and_communication_size() {
 
 #[test]
 fn simulations_are_reproducible_across_parallel_and_serial_execution() {
+    use fedft::core::ExecutionBackend;
     let (fed, pretrained, _) = setup(0.5, 4);
-    let serial = Simulation::new(Method::FedFtEds { pds: 0.5 }.configure(quick_config(3)).serial())
+    let run_with = |backend: ExecutionBackend| {
+        Simulation::new(
+            Method::FedFtEds { pds: 0.5 }
+                .configure(quick_config(3))
+                .with_execution(backend),
+        )
         .unwrap()
         .run(&fed, &pretrained)
-        .unwrap();
-    let parallel = Simulation::new(Method::FedFtEds { pds: 0.5 }.configure(quick_config(3)))
         .unwrap()
-        .run(&fed, &pretrained)
-        .unwrap();
-    assert_eq!(serial.rounds, parallel.rounds);
+    };
+    let sequential = run_with(ExecutionBackend::Sequential);
+    let parallel = run_with(ExecutionBackend::Parallel);
+    // Bit-identical histories: the executor backend is an execution detail,
+    // never an algorithmic one.
+    assert_eq!(sequential.rounds, parallel.rounds);
+    assert_eq!(sequential.label, parallel.label);
 }

@@ -44,10 +44,8 @@ fn hardened_softmax_shifts_the_entropy_distribution_left() {
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
     assert!(mean(&hardened) < mean(&standard));
 
-    let hist_standard =
-        EntropyHistogram::from_entropies(&standard, data.num_classes(), 8).unwrap();
-    let hist_hardened =
-        EntropyHistogram::from_entropies(&hardened, data.num_classes(), 8).unwrap();
+    let hist_standard = EntropyHistogram::from_entropies(&standard, data.num_classes(), 8).unwrap();
+    let hist_hardened = EntropyHistogram::from_entropies(&hardened, data.num_classes(), 8).unwrap();
     let low_mass = |h: &EntropyHistogram| h.counts[..4].iter().sum::<usize>();
     assert!(low_mass(&hist_hardened) >= low_mass(&hist_standard));
 }
@@ -112,7 +110,9 @@ fn cka_is_higher_for_identically_initialised_clients_than_for_diverged_ones() {
         let client = Client::new(k, fed.client(k).clone());
         let update = client.local_update(&global, &config, 0).unwrap();
         let mut model = global.clone();
-        model.set_trainable_vector(config.freeze, &update.theta).unwrap();
+        model
+            .set_trainable_vector(config.freeze, &update.theta)
+            .unwrap();
         drifted.push(model);
     }
     let diverged = client_cka_matrix(&mut drifted, fed.test().features(), BlockId::Up).unwrap();
@@ -125,7 +125,10 @@ fn cka_is_higher_for_identically_initialised_clients_than_for_diverged_ones() {
 #[test]
 fn run_results_feed_the_analysis_and_reporting_pipeline() {
     let (fed, global) = pretrained_setup();
-    let base = FlConfig::default().with_rounds(3).with_local_epochs(1).with_seed(4);
+    let base = FlConfig::default()
+        .with_rounds(3)
+        .with_local_epochs(1)
+        .with_seed(4);
     let runs = vec![
         Simulation::new(Method::FedAvg.configure(base.clone()))
             .unwrap()
