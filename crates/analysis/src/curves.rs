@@ -89,9 +89,13 @@ mod tests {
                 test_loss: 1.0 - acc,
                 mean_train_loss: 0.1,
                 participants: 4,
+                dropped_clients: 0,
+                tier_participants: vec![4],
                 selected_samples: 40,
                 round_client_seconds: seconds_per_round,
                 cumulative_client_seconds: seconds_per_round * (i + 1) as f64,
+                round_wall_seconds: seconds_per_round,
+                cumulative_wall_seconds: seconds_per_round * (i + 1) as f64,
             })
             .collect();
         RunResult::new(label, rounds)

@@ -1,5 +1,7 @@
 //! Regenerates Table III plus Figures 7, 8 and 9 (the 100-client straggler
-//! scenario).
+//! scenario), in both straggler models: the paper's fixed participation
+//! fractions and the emergent variant, where a two-tier device mix under a
+//! calibrated round deadline produces the stragglers by itself.
 //!
 //! Usage: `cargo run --release -p fedft-bench --bin table3 [-- --profile fast|paper]`
 
@@ -16,7 +18,7 @@ fn main() {
         Ok(result) => {
             let main_table = result.to_table();
             output::print_table(
-                "Table III — top-1 accuracy (%) with straggler simulation",
+                "Table III — top-1 accuracy (%) with fixed-fraction stragglers",
                 &main_table,
             );
             let efficiency = result.efficiency_table();
@@ -35,6 +37,35 @@ fn main() {
         }
         Err(err) => {
             eprintln!("table3 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    match table3::run_emergent(&profile) {
+        Ok(result) => {
+            let main_table = result.to_table();
+            output::print_table(
+                "Table III (emergent) — two-tier device mix under a round deadline",
+                &main_table,
+            );
+            let participation = result.participation_table();
+            output::print_table(
+                "Emergent straggler participation (mean clients / drops / wall clock)",
+                &participation,
+            );
+
+            for (name, table) in [
+                ("table3_emergent", &main_table),
+                ("table3_emergent_participation", &participation),
+            ] {
+                match output::write_table_csv(name, table) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(err) => eprintln!("failed to write {name}: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("emergent table3 experiment failed: {err}");
             std::process::exit(1);
         }
     }

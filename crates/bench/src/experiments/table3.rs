@@ -1,16 +1,30 @@
 //! Table III + Figures 7–9 — the 100-client straggler scenario.
 //!
-//! FedAvg is run at three participation fractions (`fn` ∈ {100%, 20%, 10%})
-//! to model stragglers dropping out under the heavy full-model workload,
-//! while the FedFT variants assume full participation thanks to their reduced
-//! workload. The same runs provide the learning-efficiency points of
-//! Figure 7 and the learning curves of Figures 8 and 9.
+//! Two straggler models are offered side by side:
+//!
+//! * **Fixed-fraction** ([`lineup`] / [`run_scenario`]): FedAvg is run at
+//!   three participation fractions (`fn` ∈ {100%, 20%, 10%}) to model
+//!   stragglers dropping out under the heavy full-model workload, while the
+//!   FedFT variants assume full participation thanks to their reduced
+//!   workload. This mirrors the paper's Table III setup verbatim.
+//! * **Emergent** ([`emergent_methods`] / [`run_emergent_scenario`]): every
+//!   method is nominally offered the full client pool, but the pool is a
+//!   heterogeneous two-tier device mix running under a round deadline
+//!   ([`fedft_core::DeadlineExecutor`]). Slow-tier clients that cannot fit
+//!   the full-model round inside the deadline drop out *on their own* —
+//!   "FedAvg loses stragglers, FedFT keeps them" becomes a result of the
+//!   workload model instead of a configured fraction.
+//!
+//! The same runs provide the learning-efficiency points of Figure 7 and the
+//! learning curves of Figures 8 and 9.
 
 use crate::profile::ExperimentProfile;
 use crate::setup::{self, Task};
 use fedft_analysis::curves::efficiency_points;
 use fedft_analysis::{report, Table};
-use fedft_core::{FlError, Method, RunResult, Simulation};
+use fedft_core::{FlConfig, FlError, HeterogeneityModel, Method, RunResult, Simulation};
+use fedft_data::FederatedDataset;
+use fedft_nn::BlockNet;
 use serde::{Deserialize, Serialize};
 
 /// A named entry of the Table III lineup: a method plus the participation
@@ -156,6 +170,34 @@ impl Table3Result {
         table
     }
 
+    /// Renders a straggler-participation summary: per run, the mean number
+    /// of participants per round, total scheduler drops and the simulated
+    /// wall-clock time of the whole run. Most interesting for emergent
+    /// scenarios, where these columns are results rather than inputs.
+    pub fn participation_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "task".into(),
+            "alpha".into(),
+            "method".into(),
+            "mean_participants".into(),
+            "dropped_total".into(),
+            "wall_clock_s".into(),
+        ]);
+        for scenario in &self.scenarios {
+            for run in &scenario.runs {
+                let _ = table.add_row(vec![
+                    scenario.task.clone(),
+                    format!("{}", scenario.alpha),
+                    run.label.clone(),
+                    format!("{:.1}", run.mean_participants()),
+                    run.total_dropped_clients().to_string(),
+                    format!("{:.1}", run.total_wall_seconds()),
+                ]);
+            }
+        }
+        table
+    }
+
     /// Renders the Figures 8/9 learning curves as a long-format table.
     pub fn curves_table(&self) -> Table {
         let mut table = Table::new(vec![
@@ -234,6 +276,101 @@ pub fn run(profile: &ExperimentProfile) -> Result<Table3Result, FlError> {
     Ok(Table3Result { scenarios })
 }
 
+/// The emergent-straggler lineup: every method is offered the full pool and
+/// the deadline decides who stays.
+pub fn emergent_methods() -> Vec<Method> {
+    vec![
+        Method::FedAvg,
+        Method::FedFtRds { pds: 0.1 },
+        Method::FedFtEds { pds: 0.1 },
+        Method::FedFtAll,
+        Method::FedFtEds { pds: 0.5 },
+    ]
+}
+
+/// Calibrates a round deadline from a reference configuration: the largest
+/// predicted round time any client in `fed` needs under `reference`, times
+/// `headroom`.
+///
+/// Calibrating against a FedFT configuration (with `headroom` slightly above
+/// one) yields a deadline every device tier can meet for the reduced
+/// workload while slow-tier clients overrun it for full-model FedAvg — the
+/// emergent version of the paper's straggler setting.
+pub fn calibrated_deadline(
+    fed: &FederatedDataset,
+    model: &BlockNet,
+    reference: &FlConfig,
+    headroom: f64,
+) -> f64 {
+    let slowest = reference
+        .heterogeneity
+        .predicted_times(fed, model, reference)
+        .into_iter()
+        .fold(0.0_f64, f64::max);
+    slowest * headroom
+}
+
+/// Runs one (task, alpha) scenario with the emergent-straggler lineup: a
+/// two-tier device mix under a deadline calibrated so that the FedFT-EDS
+/// reference workload fits on every tier.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_emergent_scenario(
+    profile: &ExperimentProfile,
+    task: Task,
+    alpha: f64,
+    methods: &[Method],
+) -> Result<StragglerScenario, FlError> {
+    let source = setup::source_bundle(profile)?;
+    let target = setup::target_bundle(profile, task)?;
+    let pretrained = setup::pretrained_model(profile, &source, &target)?;
+    let scratch = setup::scratch_model(profile, &target);
+    let fed = setup::federate(&target, profile.clients_large, alpha, profile.seed)?;
+
+    let hetero = HeterogeneityModel::two_tier();
+    let base = setup::base_config(profile, profile.rounds_large);
+    let reference = Method::FedFtEds { pds: 0.1 }
+        .configure(base.clone())
+        .with_heterogeneity(hetero.clone());
+    let deadline = calibrated_deadline(&fed, &pretrained, &reference, 1.2);
+
+    let mut runs = Vec::new();
+    for &method in methods {
+        let config =
+            setup::deadline_config(method.configure(base.clone()), hetero.clone(), deadline);
+        let initial = if method.uses_pretraining() {
+            &pretrained
+        } else {
+            &scratch
+        };
+        let label = format!("{} (deadline)", method.name());
+        runs.push(Simulation::new(config)?.run_labelled(label, &fed, initial)?);
+    }
+    Ok(StragglerScenario {
+        task: task.label().to_string(),
+        alpha,
+        runs,
+    })
+}
+
+/// Runs the emergent-straggler variant of Table III over both image tasks.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_emergent(profile: &ExperimentProfile) -> Result<Table3Result, FlError> {
+    let methods = emergent_methods();
+    let mut scenarios = Vec::new();
+    for task in [Task::Cifar10, Task::Cifar100] {
+        for alpha in [0.1, 0.5] {
+            scenarios.push(run_emergent_scenario(profile, task, alpha, &methods)?);
+        }
+    }
+    Ok(Table3Result { scenarios })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +406,37 @@ mod tests {
         assert_eq!(result.to_table().len(), 2);
         assert_eq!(result.efficiency_table().len(), 2);
         assert!(!result.curves_table().is_empty());
+        assert_eq!(result.participation_table().len(), 2);
+    }
+
+    #[test]
+    fn emergent_scenario_produces_stragglers_for_fedavg_only() {
+        let profile = ExperimentProfile::tiny();
+        let methods = vec![Method::FedAvg, Method::FedFtEds { pds: 0.1 }];
+        let scenario = run_emergent_scenario(&profile, Task::Cifar10, 0.5, &methods).unwrap();
+        assert_eq!(scenario.runs.len(), 2);
+        let fedavg = &scenario.runs[0];
+        let fedft = &scenario.runs[1];
+        assert!(fedavg.label.contains("deadline"));
+        // The deadline is calibrated so the FedFT reference fits on every
+        // tier: FedFT keeps the whole pool, FedAvg drops its slow tier.
+        assert_eq!(fedft.total_dropped_clients(), 0);
+        assert!(
+            fedavg.total_dropped_clients() > 0,
+            "full-model FedAvg must lose slow-tier clients to the deadline"
+        );
+        assert!(fedavg.mean_participants() < fedft.mean_participants());
+        let result = Table3Result {
+            scenarios: vec![scenario],
+        };
+        assert_eq!(result.participation_table().len(), 2);
+    }
+
+    #[test]
+    fn emergent_lineup_offers_the_full_pool() {
+        let methods = emergent_methods();
+        assert_eq!(methods.len(), 5);
+        assert!(methods.contains(&Method::FedAvg));
+        assert!(methods.iter().any(|m| m.uses_partial_finetuning()));
     }
 }

@@ -2,7 +2,9 @@
 
 use crate::profile::ExperimentProfile;
 use fedft_core::pretrain::pretrain_global_model;
-use fedft_core::{ExecutionBackend, FlConfig, FlError, Method, RunResult, Simulation};
+use fedft_core::{
+    ExecutionBackend, FlConfig, FlError, HeterogeneityModel, Method, RunResult, Simulation,
+};
 use fedft_data::federated::PartitionScheme;
 use fedft_data::{domains, DomainBundle, FederatedDataset};
 use fedft_nn::{BlockNet, BlockNetConfig};
@@ -114,6 +116,19 @@ pub fn base_config(profile: &ExperimentProfile, rounds: usize) -> FlConfig {
         .with_batch_size(profile.batch_size)
         .with_seed(profile.seed)
         .with_execution(ExecutionBackend::Parallel)
+}
+
+/// Puts a base configuration under deadline-based straggler scheduling: the
+/// given device-heterogeneity model, a finite round deadline and the
+/// [`ExecutionBackend::Deadline`] executor.
+pub fn deadline_config(
+    base: FlConfig,
+    heterogeneity: HeterogeneityModel,
+    deadline_seconds: f64,
+) -> FlConfig {
+    base.with_heterogeneity(heterogeneity)
+        .with_deadline(deadline_seconds)
+        .with_execution(ExecutionBackend::Deadline)
 }
 
 /// Runs a named method against a federated dataset, automatically choosing

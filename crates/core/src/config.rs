@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::device::HeterogeneityModel;
 use crate::executor::ExecutionBackend;
 use crate::selection::SelectionStrategy;
 use crate::{CostModel, FlError, Result};
@@ -58,11 +59,23 @@ pub struct FlConfig {
     pub participation: f64,
     /// Cost model converting work to simulated client seconds.
     pub cost: CostModel,
+    /// Device-heterogeneity model of the client population: tiers with
+    /// compute/network multipliers and per-round availability. The default
+    /// is a single nominal tier (no heterogeneity). Used for the simulated
+    /// wall-clock accounting on every backend and for straggler scheduling
+    /// by [`ExecutionBackend::Deadline`].
+    pub heterogeneity: HeterogeneityModel,
+    /// Synchronous round deadline in simulated seconds. Clients whose
+    /// predicted round time exceeds it are dropped by
+    /// [`ExecutionBackend::Deadline`]; `f64::INFINITY` (the default)
+    /// disables deadline drops.
+    pub deadline_seconds: f64,
     /// Master seed controlling every stochastic component of the run.
     pub seed: u64,
-    /// How client updates are executed each round. Results are identical
-    /// for every backend; this only affects wall-clock time of the
-    /// simulation.
+    /// How client updates are executed each round. `Sequential` and
+    /// `Parallel` produce identical results and only affect wall-clock time
+    /// of the simulation; `Deadline` additionally drops stragglers based on
+    /// the heterogeneity model and deadline.
     pub execution: ExecutionBackend,
 }
 
@@ -78,6 +91,8 @@ impl Default for FlConfig {
             algorithm: LocalAlgorithm::FedAvg,
             participation: 1.0,
             cost: CostModel::default(),
+            heterogeneity: HeterogeneityModel::uniform(),
+            deadline_seconds: f64::INFINITY,
             seed: 0,
             execution: ExecutionBackend::Parallel,
         }
@@ -133,6 +148,19 @@ impl FlConfig {
         self
     }
 
+    /// Sets the device-heterogeneity model of the client population.
+    pub fn with_heterogeneity(mut self, heterogeneity: HeterogeneityModel) -> Self {
+        self.heterogeneity = heterogeneity;
+        self
+    }
+
+    /// Sets the synchronous round deadline in simulated seconds
+    /// (`f64::INFINITY` disables deadline drops).
+    pub fn with_deadline(mut self, deadline_seconds: f64) -> Self {
+        self.deadline_seconds = deadline_seconds;
+        self
+    }
+
     /// Selects the execution backend for client updates.
     pub fn with_execution(mut self, execution: ExecutionBackend) -> Self {
         self.execution = execution;
@@ -185,9 +213,18 @@ impl FlConfig {
                 });
             }
         }
+        if self.deadline_seconds.is_nan() || self.deadline_seconds <= 0.0 {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "deadline_seconds must be positive (or infinite), got {}",
+                    self.deadline_seconds
+                ),
+            });
+        }
         self.sgd.validate().map_err(FlError::from)?;
         self.selection.validate()?;
         self.cost.validate()?;
+        self.heterogeneity.validate()?;
         Ok(())
     }
 }
@@ -256,6 +293,33 @@ mod tests {
         let mut c = FlConfig::default();
         c.sgd.learning_rate = -1.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn heterogeneity_and_deadline_knobs_apply_and_validate() {
+        let c = FlConfig::default();
+        assert_eq!(c.heterogeneity, HeterogeneityModel::uniform());
+        assert!(c.deadline_seconds.is_infinite());
+
+        let c = FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_deadline(12.5)
+            .with_execution(ExecutionBackend::Deadline);
+        assert_eq!(c.heterogeneity.num_tiers(), 2);
+        assert_eq!(c.deadline_seconds, 12.5);
+        assert_eq!(c.execution, ExecutionBackend::Deadline);
+        assert!(c.validate().is_ok());
+
+        assert!(FlConfig::default().with_deadline(0.0).validate().is_err());
+        assert!(FlConfig::default().with_deadline(-1.0).validate().is_err());
+        assert!(FlConfig::default()
+            .with_deadline(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::from_tiers(vec![]))
+            .validate()
+            .is_err());
     }
 
     #[test]

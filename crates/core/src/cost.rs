@@ -178,4 +178,76 @@ mod tests {
         let t = cost.client_round_seconds(&FlopsBreakdown::default(), 0, 0, 5, false);
         assert!((t - cost.per_round_overhead_seconds).abs() < 1e-12);
     }
+
+    #[test]
+    fn zero_selected_samples_still_pay_for_the_selection_pass() {
+        // A client whose selection kept nothing trains nothing, but the
+        // entropy pass over the full local dataset was still performed.
+        let cost = CostModel::default();
+        let t = cost.client_round_seconds(&flops(), 100, 0, 5, true);
+        let expected = flops().inference_flops() as f64 * 100.0 / cost.device_flops_per_second
+            + cost.per_round_overhead_seconds;
+        assert!((t - expected).abs() < 1e-12);
+        // Without the pass, zero selected samples cost only the overhead.
+        let bare = cost.client_round_seconds(&flops(), 100, 0, 5, false);
+        assert!((bare - cost.per_round_overhead_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_local_samples_with_selection_pass_cost_only_the_overhead() {
+        let cost = CostModel::default();
+        let t = cost.client_round_seconds(&flops(), 0, 0, 3, true);
+        assert!((t - cost.per_round_overhead_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_epochs_remove_the_training_term() {
+        let cost = CostModel::default();
+        let t = cost.client_round_seconds(&flops(), 50, 50, 0, false);
+        assert!((t - cost.per_round_overhead_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_across_real_freeze_levels() {
+        // Evaluated on an actual model so every freeze level exercises the
+        // real FLOP breakdowns, not hand-written ones.
+        use fedft_nn::{BlockNet, BlockNetConfig, FreezeLevel};
+        let model = BlockNet::new(&BlockNetConfig::new(12, 4).with_hidden(16, 16, 16), 0);
+        let cost = CostModel::default();
+        let times: Vec<f64> = FreezeLevel::all()
+            .iter()
+            .map(|&freeze| {
+                cost.client_round_seconds(&model.flops_per_sample(freeze), 40, 40, 2, false)
+            })
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] > w[1]),
+            "freezing more blocks must strictly reduce cost: {times:?}"
+        );
+        assert!(times.iter().all(|&t| t > cost.per_round_overhead_seconds));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_parameters() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+            let c = CostModel {
+                device_flops_per_second: bad,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "throughput {bad} must be rejected");
+        }
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let c = CostModel {
+                per_round_overhead_seconds: bad,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "overhead {bad} must be rejected");
+        }
+        // Zero overhead is explicitly allowed.
+        let free = CostModel {
+            per_round_overhead_seconds: 0.0,
+            ..Default::default()
+        };
+        assert!(free.validate().is_ok());
+    }
 }

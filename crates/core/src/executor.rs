@@ -3,7 +3,7 @@
 //! Each round of [`crate::Simulation`] trains every participating client
 //! against the current global model. How those independent local updates are
 //! scheduled is an execution concern, not an algorithmic one, so it lives
-//! behind the [`RoundExecutor`] trait with two implementations:
+//! behind the [`RoundExecutor`] trait with three implementations:
 //!
 //! * [`SequentialExecutor`] — one client after another on the calling
 //!   thread. The reference behaviour.
@@ -13,9 +13,17 @@
 //!   are returned in participant order regardless of which thread finished
 //!   first, so round histories are **bit-identical** to the sequential
 //!   backend's for the same [`FlConfig`] seed.
+//! * [`DeadlineExecutor`] — a virtual-clock scheduler for heterogeneous
+//!   device populations: each sampled client's simulated round time is
+//!   predicted from the cost model and its
+//!   [`crate::device::DeviceProfile`]; clients that are offline this round
+//!   or would miss [`FlConfig::deadline_seconds`] are dropped *before*
+//!   training, and only the survivors are trained (by an inner executor)
+//!   and aggregated. With an infinite deadline and no offline probability it
+//!   degenerates to its inner executor, bit for bit.
 //!
 //! The backend is selected by the [`ExecutionBackend`] knob on
-//! [`FlConfig`](crate::FlConfig); simulation code only sees the trait.
+//! [`FlConfig`]; simulation code only sees the trait.
 
 use crate::client::{Client, ClientUpdate};
 use crate::config::FlConfig;
@@ -25,8 +33,11 @@ use serde::{Deserialize, Serialize};
 
 /// Which backend executes the clients' local updates each round.
 ///
-/// This only affects wall-clock time of the simulation, never its results:
-/// both backends produce identical round histories for the same seed.
+/// `Sequential` and `Parallel` only affect wall-clock time of the
+/// simulation, never its results. `Deadline` additionally *schedules*: it
+/// drops clients that are offline or miss the round deadline, so its results
+/// depend on the [`FlConfig`] heterogeneity and deadline knobs (and reduce
+/// to the other backends' results when those knobs are neutral).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ExecutionBackend {
     /// Train selected clients one after another on the calling thread.
@@ -35,6 +46,11 @@ pub enum ExecutionBackend {
     /// (aggregating in client order, so results match `Sequential` exactly).
     #[default]
     Parallel,
+    /// Deadline-based straggler scheduling over the device-heterogeneity
+    /// model: predict each client's simulated round time, drop clients that
+    /// are offline or would miss the deadline, train the survivors in
+    /// parallel.
+    Deadline,
 }
 
 impl ExecutionBackend {
@@ -43,6 +59,7 @@ impl ExecutionBackend {
         match self {
             ExecutionBackend::Sequential => "seq",
             ExecutionBackend::Parallel => "par",
+            ExecutionBackend::Deadline => "ddl",
         }
     }
 
@@ -51,7 +68,57 @@ impl ExecutionBackend {
         match self {
             ExecutionBackend::Sequential => Box::new(SequentialExecutor),
             ExecutionBackend::Parallel => Box::new(ParallelExecutor::new()),
+            ExecutionBackend::Deadline => Box::new(DeadlineExecutor::new()),
         }
+    }
+}
+
+/// Why a sampled client produced no update in a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The device was offline this round (availability draw).
+    Offline,
+    /// The predicted simulated round time exceeded the deadline.
+    MissedDeadline,
+}
+
+/// A sampled client that was dropped from the round by the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroppedClient {
+    /// Id of the dropped client.
+    pub client_id: usize,
+    /// Tier index of the client's device profile.
+    pub tier_index: usize,
+    /// Why the client was dropped.
+    pub reason: DropReason,
+    /// The predicted simulated round seconds (`0.0` for offline clients,
+    /// which never start).
+    pub simulated_seconds: f64,
+}
+
+/// Everything a round executor reports back: one update per surviving
+/// participant (in participant order) plus the clients it dropped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundOutcome {
+    /// Updates of the clients that completed the round, in participant order.
+    pub updates: Vec<ClientUpdate>,
+    /// Clients sampled for the round but dropped by the scheduler, in
+    /// participant order. Empty for non-scheduling backends.
+    pub drops: Vec<DroppedClient>,
+}
+
+impl RoundOutcome {
+    /// An outcome in which every participant completed (no drops).
+    pub fn completed(updates: Vec<ClientUpdate>) -> Self {
+        RoundOutcome {
+            updates,
+            drops: Vec::new(),
+        }
+    }
+
+    /// Number of sampled clients that did not survive the round.
+    pub fn dropped(&self) -> usize {
+        self.drops.len()
     }
 }
 
@@ -59,9 +126,11 @@ impl ExecutionBackend {
 ///
 /// # Contract
 ///
-/// Implementations must return exactly one [`ClientUpdate`] per participant,
-/// **in participant order** (the order of the `participants` slice), so that
-/// server aggregation is deterministic under any scheduling. They must not
+/// Implementations must return exactly one [`ClientUpdate`] per *surviving*
+/// participant, **in participant order** (the order of the `participants`
+/// slice), so that server aggregation is deterministic under any scheduling;
+/// every sampled participant must appear either in
+/// [`RoundOutcome::updates`] or in [`RoundOutcome::drops`]. They must not
 /// mutate shared state: a client update is a pure function of its inputs.
 pub trait RoundExecutor: Send + Sync + std::fmt::Debug {
     /// Human-readable executor name for logs and error messages.
@@ -79,7 +148,7 @@ pub trait RoundExecutor: Send + Sync + std::fmt::Debug {
         global_model: &BlockNet,
         config: &FlConfig,
         round: usize,
-    ) -> Result<Vec<ClientUpdate>>;
+    ) -> Result<RoundOutcome>;
 }
 
 /// Trains clients one at a time on the calling thread.
@@ -97,14 +166,15 @@ impl RoundExecutor for SequentialExecutor {
         global_model: &BlockNet,
         config: &FlConfig,
         round: usize,
-    ) -> Result<Vec<ClientUpdate>> {
+    ) -> Result<RoundOutcome> {
         if participants.is_empty() {
             return Err(FlError::NoParticipants { round });
         }
         participants
             .iter()
             .map(|client| client.local_update(global_model, config, round))
-            .collect()
+            .collect::<Result<Vec<ClientUpdate>>>()
+            .map(RoundOutcome::completed)
     }
 }
 
@@ -162,7 +232,7 @@ impl RoundExecutor for ParallelExecutor {
         global_model: &BlockNet,
         config: &FlConfig,
         round: usize,
-    ) -> Result<Vec<ClientUpdate>> {
+    ) -> Result<RoundOutcome> {
         if participants.is_empty() {
             return Err(FlError::NoParticipants { round });
         }
@@ -197,13 +267,128 @@ impl RoundExecutor for ParallelExecutor {
         for chunk in results {
             updates.extend(chunk?);
         }
-        Ok(updates)
+        Ok(RoundOutcome::completed(updates))
+    }
+}
+
+/// Deadline-based straggler scheduling over a heterogeneous device
+/// population (virtual clock).
+///
+/// For each sampled participant the executor resolves its
+/// [`crate::device::DeviceProfile`] from
+/// [`FlConfig::heterogeneity`](crate::FlConfig), then:
+///
+/// 1. drops the client with [`DropReason::Offline`] if its availability
+///    draw says the device is offline this round,
+/// 2. predicts its simulated round seconds
+///    ([`crate::device::HeterogeneityModel::predicted_client_seconds`],
+///    which is exact because the cost model is deterministic) and drops the
+///    client with [`DropReason::MissedDeadline`] if it exceeds
+///    [`FlConfig::deadline_seconds`](crate::FlConfig),
+/// 3. trains the survivors with the inner executor and aggregates only
+///    their updates.
+///
+/// Dropped clients never train, mirroring a synchronous server that ignores
+/// late updates; the round's simulated wall-clock accounting is done by
+/// [`crate::Simulation`] from the outcome.
+#[derive(Debug)]
+pub struct DeadlineExecutor {
+    inner: Box<dyn RoundExecutor>,
+}
+
+impl Default for DeadlineExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeadlineExecutor {
+    /// A deadline scheduler training survivors on all cores.
+    pub fn new() -> Self {
+        Self::over(ParallelExecutor::new())
+    }
+
+    /// A deadline scheduler training survivors sequentially.
+    pub fn sequential() -> Self {
+        Self::over(SequentialExecutor)
+    }
+
+    /// Wraps an arbitrary inner executor. Results are identical for every
+    /// (correct) inner executor; only wall-clock time differs.
+    pub fn over(inner: impl RoundExecutor + 'static) -> Self {
+        DeadlineExecutor {
+            inner: Box::new(inner),
+        }
+    }
+}
+
+impl RoundExecutor for DeadlineExecutor {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<RoundOutcome> {
+        if participants.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        let hetero = &config.heterogeneity;
+        // Client-invariant inputs of the prediction, computed once per round.
+        let flops = global_model.flops_per_sample(config.freeze);
+        let traffic = crate::comm::round_traffic(global_model, config.freeze);
+        let mut survivors: Vec<&Client> = Vec::with_capacity(participants.len());
+        let mut drops: Vec<DroppedClient> = Vec::new();
+        for &client in participants {
+            let profile = hetero.profile_for(client.id(), config.seed);
+            if hetero.is_offline(&profile, round, config.seed) {
+                drops.push(DroppedClient {
+                    client_id: client.id(),
+                    tier_index: profile.tier_index,
+                    reason: DropReason::Offline,
+                    simulated_seconds: 0.0,
+                });
+                continue;
+            }
+            let predicted = hetero.predicted_seconds_from_parts(
+                &profile,
+                &flops,
+                &traffic,
+                client.num_samples(),
+                config,
+            );
+            if predicted > config.deadline_seconds {
+                drops.push(DroppedClient {
+                    client_id: client.id(),
+                    tier_index: profile.tier_index,
+                    reason: DropReason::MissedDeadline,
+                    simulated_seconds: predicted,
+                });
+                continue;
+            }
+            survivors.push(client);
+        }
+        let mut outcome = if survivors.is_empty() {
+            // Every sampled client dropped: an empty round, not an error —
+            // the simulation keeps the global model and records the drops.
+            RoundOutcome::default()
+        } else {
+            self.inner
+                .run_round(&survivors, global_model, config, round)?
+        };
+        outcome.drops = drops;
+        Ok(outcome)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::HeterogeneityModel;
     use fedft_data::Dataset;
     use fedft_nn::{BlockNet, BlockNetConfig};
     use fedft_tensor::{init, rng};
@@ -233,12 +418,14 @@ mod tests {
         assert_eq!(ExecutionBackend::default(), ExecutionBackend::Parallel);
         assert_eq!(ExecutionBackend::Sequential.short_name(), "seq");
         assert_eq!(ExecutionBackend::Parallel.short_name(), "par");
+        assert_eq!(ExecutionBackend::Deadline.short_name(), "ddl");
         assert_eq!(ExecutionBackend::Sequential.executor().name(), "sequential");
         assert_eq!(ExecutionBackend::Parallel.executor().name(), "parallel");
+        assert_eq!(ExecutionBackend::Deadline.executor().name(), "deadline");
     }
 
     #[test]
-    fn both_executors_reject_empty_rounds() {
+    fn all_executors_reject_empty_rounds() {
         let m = model();
         let c = config();
         assert!(matches!(
@@ -248,6 +435,10 @@ mod tests {
         assert!(matches!(
             ParallelExecutor::new().run_round(&[], &m, &c, 9),
             Err(FlError::NoParticipants { round: 9 })
+        ));
+        assert!(matches!(
+            DeadlineExecutor::new().run_round(&[], &m, &c, 4),
+            Err(FlError::NoParticipants { round: 4 })
         ));
     }
 
@@ -264,12 +455,86 @@ mod tests {
                 .unwrap();
             assert_eq!(sequential, parallel, "workers={workers}");
         }
-        let ids: Vec<usize> = sequential.iter().map(|u| u.client_id).collect();
+        let ids: Vec<usize> = sequential.updates.iter().map(|u| u.client_id).collect();
         assert_eq!(
             ids,
             (0..7).collect::<Vec<_>>(),
             "participant order preserved"
         );
+        assert!(sequential.drops.is_empty());
+        assert_eq!(sequential.dropped(), 0);
+    }
+
+    #[test]
+    fn deadline_executor_with_neutral_knobs_matches_sequential_bit_for_bit() {
+        let clients: Vec<Client> = (0..5).map(|id| client(id, 10 + id)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config(); // uniform heterogeneity, infinite deadline
+        let reference = SequentialExecutor.run_round(&refs, &m, &c, 0).unwrap();
+        let deadline = DeadlineExecutor::sequential()
+            .run_round(&refs, &m, &c, 0)
+            .unwrap();
+        assert_eq!(reference, deadline);
+        let deadline_par = DeadlineExecutor::new().run_round(&refs, &m, &c, 0).unwrap();
+        assert_eq!(reference, deadline_par);
+    }
+
+    #[test]
+    fn deadline_executor_drops_clients_that_miss_a_tight_deadline() {
+        let clients: Vec<Client> = (0..4).map(|id| client(id, 14)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        // A deadline below any client's predicted time drops everyone; the
+        // round is empty but not an error.
+        let c = config().with_deadline(1e-9);
+        let outcome = DeadlineExecutor::new().run_round(&refs, &m, &c, 0).unwrap();
+        assert!(outcome.updates.is_empty());
+        assert_eq!(outcome.dropped(), 4);
+        assert!(outcome
+            .drops
+            .iter()
+            .all(|d| d.reason == DropReason::MissedDeadline && d.simulated_seconds > 1e-9));
+    }
+
+    #[test]
+    fn deadline_executor_separates_tiers_by_predicted_time() {
+        let clients: Vec<Client> = (0..8).map(|id| client(id, 14)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let hetero = HeterogeneityModel::two_tier();
+        let seed = 3;
+        // Pick a deadline between the fast- and slow-tier predicted times:
+        // all clients hold 14 samples, so the prediction only depends on the
+        // tier.
+        let fast = hetero.profile_for(
+            (0..8)
+                .find(|&id| hetero.profile_for(id, seed).tier_index == 0)
+                .expect("a fast client"),
+            seed,
+        );
+        let slow = hetero.profile_for(
+            (0..8)
+                .find(|&id| hetero.profile_for(id, seed).tier_index == 1)
+                .expect("a slow client"),
+            seed,
+        );
+        let base = config().with_seed(seed).with_heterogeneity(hetero.clone());
+        let t_fast = hetero.predicted_client_seconds(&fast, &m, 14, &base);
+        let t_slow = hetero.predicted_client_seconds(&slow, &m, 14, &base);
+        assert!(t_fast < t_slow);
+        let c = base.with_deadline((t_fast + t_slow) / 2.0);
+
+        let outcome = DeadlineExecutor::new().run_round(&refs, &m, &c, 0).unwrap();
+        assert!(!outcome.updates.is_empty());
+        assert!(!outcome.drops.is_empty());
+        for update in &outcome.updates {
+            assert_eq!(hetero.profile_for(update.client_id, seed).tier_index, 0);
+        }
+        for drop in &outcome.drops {
+            assert_eq!(drop.tier_index, 1);
+            assert_eq!(drop.reason, DropReason::MissedDeadline);
+        }
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   straggler modelling, weighted aggregation of the trainable parameters,
 //!   a deterministic FLOP-based training-time cost model, and per-round
 //!   metrics (test accuracy, learning curves, learning efficiency).
+//! * **Device heterogeneity** — tiered device populations
+//!   ([`device::HeterogeneityModel`]) with compute/network multipliers and
+//!   per-round availability, plus a virtual-clock
+//!   [`executor::DeadlineExecutor`] that drops clients missing a round
+//!   deadline — making the paper's straggler effect *emergent* instead of a
+//!   fixed participation fraction.
 //!
 //! ## Example
 //!
@@ -56,6 +62,7 @@ pub mod client;
 pub mod comm;
 pub mod config;
 pub mod cost;
+pub mod device;
 pub mod entropy;
 pub mod executor;
 pub mod methods;
@@ -69,8 +76,12 @@ pub mod simulation;
 pub use client::{Client, ClientUpdate};
 pub use config::{FlConfig, LocalAlgorithm};
 pub use cost::CostModel;
+pub use device::{DeviceProfile, DeviceTier, HeterogeneityModel};
 pub use error::FlError;
-pub use executor::{ExecutionBackend, ParallelExecutor, RoundExecutor, SequentialExecutor};
+pub use executor::{
+    DeadlineExecutor, DropReason, DroppedClient, ExecutionBackend, ParallelExecutor, RoundExecutor,
+    RoundOutcome, SequentialExecutor,
+};
 pub use methods::Method;
 pub use metrics::{RoundRecord, RunResult};
 pub use participation::ParticipationModel;

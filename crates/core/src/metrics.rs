@@ -15,14 +15,29 @@ pub struct RoundRecord {
     pub mean_train_loss: f32,
     /// Number of clients that participated in the round.
     pub participants: usize,
+    /// Number of sampled clients dropped by the scheduler (offline or past
+    /// the deadline). Zero for non-scheduling backends.
+    pub dropped_clients: usize,
+    /// Number of participating clients per device tier (indexed like
+    /// [`crate::device::HeterogeneityModel::tiers`]; a single entry under
+    /// the default uniform model).
+    pub tier_participants: Vec<usize>,
     /// Total number of samples selected for training across participants.
     pub selected_samples: usize,
     /// Simulated client compute seconds spent in this round (summed over
-    /// participants).
+    /// participants), on the nominal device — the paper's learning-
+    /// efficiency denominator.
     pub round_client_seconds: f64,
     /// Cumulative simulated client compute seconds up to and including this
     /// round.
     pub cumulative_client_seconds: f64,
+    /// Simulated wall-clock duration of this synchronous round: the slowest
+    /// surviving client's device-adjusted compute + transfer time, or the
+    /// deadline when a sampled client missed it.
+    pub round_wall_seconds: f64,
+    /// Cumulative simulated wall-clock seconds up to and including this
+    /// round.
+    pub cumulative_wall_seconds: f64,
 }
 
 /// The result of a complete federated-learning run.
@@ -61,6 +76,46 @@ impl RunResult {
         self.rounds
             .last()
             .map_or(0.0, |r| r.cumulative_client_seconds)
+    }
+
+    /// Total simulated wall-clock seconds over the whole run (the virtual
+    /// time a synchronous server spent waiting for rounds to close).
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.rounds
+            .last()
+            .map_or(0.0, |r| r.cumulative_wall_seconds)
+    }
+
+    /// Total number of client drops over the whole run (offline devices and
+    /// missed deadlines, summed over rounds).
+    pub fn total_dropped_clients(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped_clients).sum()
+    }
+
+    /// Mean number of participants per round; `0.0` for an empty run.
+    pub fn mean_participants(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.participants).sum::<usize>() as f64 / self.rounds.len() as f64
+    }
+
+    /// Per-tier participation summed over every round. Ragged records (from
+    /// runs with differing tier counts) are aligned by index.
+    pub fn tier_participation_totals(&self) -> Vec<usize> {
+        let width = self
+            .rounds
+            .iter()
+            .map(|r| r.tier_participants.len())
+            .max()
+            .unwrap_or(0);
+        let mut totals = vec![0usize; width];
+        for record in &self.rounds {
+            for (slot, &count) in totals.iter_mut().zip(record.tier_participants.iter()) {
+                *slot += count;
+            }
+        }
+        totals
     }
 
     /// The paper's learning-efficiency metric: best test accuracy (in
@@ -112,9 +167,13 @@ mod tests {
             test_loss: 1.0 - acc,
             mean_train_loss: 0.5,
             participants: 10,
+            dropped_clients: 2,
+            tier_participants: vec![7, 3],
             selected_samples: 100,
             round_client_seconds: 1.0,
             cumulative_client_seconds: cumulative,
+            round_wall_seconds: 5.0,
+            cumulative_wall_seconds: 5.0 * round as f64,
         }
     }
 
@@ -154,6 +213,19 @@ mod tests {
         assert_eq!(r.learning_efficiency(), 0.0);
         assert_eq!(r.rounds_to_accuracy(0.1), None);
         assert_eq!(r.tail_accuracy(3), 0.0);
+        assert_eq!(r.total_wall_seconds(), 0.0);
+        assert_eq!(r.total_dropped_clients(), 0);
+        assert_eq!(r.mean_participants(), 0.0);
+        assert!(r.tier_participation_totals().is_empty());
+    }
+
+    #[test]
+    fn straggler_summaries_aggregate_rounds() {
+        let r = run();
+        assert_eq!(r.total_dropped_clients(), 6);
+        assert!((r.mean_participants() - 10.0).abs() < 1e-12);
+        assert_eq!(r.tier_participation_totals(), vec![21, 9]);
+        assert_eq!(r.total_wall_seconds(), 15.0);
     }
 
     #[test]

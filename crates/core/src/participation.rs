@@ -6,6 +6,16 @@
 //! participation because their workload is small enough for every device.
 //! This module models that by sampling a subset of clients uniformly at
 //! random each round.
+//!
+//! # RNG stream
+//!
+//! Sampling draws exclusively from the `"participation"` stream (derived
+//! from the master seed via [`fedft_tensor::rng::rng_for_indexed`], indexed
+//! by round). The device-heterogeneity subsystem draws from its own
+//! `"device-tier"` / `"device-availability"` streams (see
+//! [`crate::device`]), so enabling heterogeneity or deadline scheduling
+//! never perturbs a previously seeded participation history — pinned by a
+//! regression test below.
 
 use crate::{FlError, Result};
 use fedft_tensor::rng;
@@ -107,6 +117,40 @@ mod tests {
             "ids are sorted and unique"
         );
         assert!(a.iter().all(|&id| id < 20));
+    }
+
+    #[test]
+    fn sampled_histories_are_pinned_across_releases() {
+        // Regression guard for the `"participation"` RNG stream: these
+        // exact histories were recorded before the device-heterogeneity
+        // subsystem existed. If adding (or consuming) any other random
+        // stream ever changes them, seeded experiment histories are no
+        // longer reproducible — fix the stream separation, not this test.
+        let p = ParticipationModel::new(0.3).unwrap();
+        assert_eq!(p.sample_round(10, 0, 42), vec![0, 2, 6]);
+        assert_eq!(p.sample_round(10, 1, 42), vec![1, 2, 7]);
+        assert_eq!(p.sample_round(10, 2, 42), vec![2, 7, 9]);
+        assert_eq!(p.sample_round(10, 3, 42), vec![6, 7, 8]);
+        let q = ParticipationModel::new(0.2).unwrap();
+        assert_eq!(q.sample_round(20, 0, 7), vec![0, 9, 11, 12]);
+        assert_eq!(q.sample_round(20, 1, 7), vec![0, 13, 18, 19]);
+    }
+
+    #[test]
+    fn participation_stream_is_independent_of_device_streams() {
+        use crate::device::HeterogeneityModel;
+        // Interleave device-tier and availability draws with participation
+        // sampling: every draw builds its own generator from a disjoint
+        // label, so the participation history must not move.
+        let p = ParticipationModel::new(0.3).unwrap();
+        let hetero = HeterogeneityModel::three_tier();
+        let before = p.sample_round(10, 0, 42);
+        for id in 0..10 {
+            let profile = hetero.profile_for(id, 42);
+            let _ = hetero.is_offline(&profile, 0, 42);
+        }
+        assert_eq!(before, p.sample_round(10, 0, 42));
+        assert_eq!(before, vec![0, 2, 6], "must match the pinned history");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The synchronous federated-learning round loop (paper Algorithm 1).
 
 use crate::client::Client;
+use crate::comm::round_traffic;
 use crate::config::FlConfig;
 use crate::metrics::{RoundRecord, RunResult};
 use crate::participation::ParticipationModel;
@@ -83,16 +84,31 @@ impl Simulation {
         let mut global_model = initial_model.clone();
         let mut rounds = Vec::with_capacity(self.config.rounds);
         let mut cumulative_seconds = 0.0_f64;
+        let mut cumulative_wall = 0.0_f64;
+        let hetero = &self.config.heterogeneity;
+        // The trainable parameter count is fixed by the architecture and
+        // freeze level, so the per-round traffic is round-invariant; device
+        // profiles are fixed for the whole run by (seed, client id).
+        let traffic = round_traffic(&global_model, self.config.freeze);
+        let profiles: Vec<_> = (0..clients.len())
+            .map(|id| hetero.profile_for(id, self.config.seed))
+            .collect();
 
         for round in 0..self.config.rounds {
             let participant_ids =
                 participation.sample_round(clients.len(), round, self.config.seed);
             let participants: Vec<&Client> =
                 participant_ids.iter().map(|&id| &clients[id]).collect();
-            let updates = executor.run_round(&participants, &global_model, &self.config, round)?;
+            let outcome = executor.run_round(&participants, &global_model, &self.config, round)?;
+            let updates = &outcome.updates;
 
-            let theta = server.aggregate(&updates, round)?;
-            global_model.set_trainable_vector(self.config.freeze, &theta)?;
+            if !updates.is_empty() {
+                let theta = server.aggregate(updates, round)?;
+                global_model.set_trainable_vector(self.config.freeze, &theta)?;
+            }
+            // An all-dropped round (every sampled device offline or past the
+            // deadline) leaves the global model unchanged but is still a
+            // round: the server waited for it.
 
             let test_accuracy =
                 global_model.evaluate_accuracy(data.test().features(), data.test().labels())?;
@@ -104,15 +120,39 @@ impl Simulation {
                 updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
             let selected_samples = updates.iter().map(|u| u.selected_samples).sum();
 
+            // Simulated wall-clock of the synchronous round: the slowest
+            // surviving device, or the full deadline when someone missed it.
+            let mut tier_participants = vec![0usize; hetero.num_tiers()];
+            let mut round_wall_seconds = 0.0_f64;
+            for update in updates {
+                let profile = &profiles[update.client_id];
+                let effective =
+                    hetero.simulated_round_seconds(profile, update.compute_seconds, &traffic);
+                round_wall_seconds = round_wall_seconds.max(effective);
+                tier_participants[profile.tier_index] += 1;
+            }
+            // A synchronous server cannot tell an offline device from a
+            // straggler: any drop means it waited out the full (finite)
+            // deadline. Without a deadline there is nothing to wait for, so
+            // drop-only rounds fall back to the slowest survivor.
+            if !outcome.drops.is_empty() && self.config.deadline_seconds.is_finite() {
+                round_wall_seconds = self.config.deadline_seconds;
+            }
+            cumulative_wall += round_wall_seconds;
+
             rounds.push(RoundRecord {
                 round: round + 1,
                 test_accuracy,
                 test_loss,
                 mean_train_loss,
                 participants: updates.len(),
+                dropped_clients: outcome.dropped(),
+                tier_participants,
                 selected_samples,
                 round_client_seconds,
                 cumulative_client_seconds: cumulative_seconds,
+                round_wall_seconds,
+                cumulative_wall_seconds: cumulative_wall,
             });
         }
         Ok(RunResult::new(label, rounds))
@@ -222,6 +262,64 @@ mod tests {
             .unwrap();
         assert_eq!(a.rounds, b.rounds);
         assert_ne!(a.rounds, c.rounds);
+    }
+
+    #[test]
+    fn wall_clock_and_tier_metrics_are_recorded() {
+        let (fed, model) = tiny_setup(4);
+        let sim = Simulation::new(quick_config(2)).unwrap();
+        let result = sim.run(&fed, &model).unwrap();
+        for r in &result.rounds {
+            // Uniform model, one tier: everyone is in tier 0 and no one drops.
+            assert_eq!(r.tier_participants, vec![r.participants]);
+            assert_eq!(r.dropped_clients, 0);
+            // Wall clock is the slowest client plus transfer time, so it is
+            // positive yet below the summed per-client compute seconds for
+            // multi-client rounds with negligible traffic.
+            assert!(r.round_wall_seconds > 0.0);
+        }
+        assert!(result
+            .rounds
+            .windows(2)
+            .all(|w| w[1].cumulative_wall_seconds > w[0].cumulative_wall_seconds));
+        assert_eq!(result.total_dropped_clients(), 0);
+        assert!((result.mean_participants() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_backend_with_neutral_knobs_matches_sequential_history() {
+        let (fed, model) = tiny_setup(5);
+        let sequential = Simulation::new(quick_config(2))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        let deadline = Simulation::new(quick_config(2).with_execution(ExecutionBackend::Deadline))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        assert_eq!(sequential.rounds, deadline.rounds);
+    }
+
+    #[test]
+    fn impossible_deadline_yields_empty_rounds_not_errors() {
+        let (fed, model) = tiny_setup(3);
+        let config = quick_config(2)
+            .with_execution(ExecutionBackend::Deadline)
+            .with_deadline(1e-12);
+        let result = Simulation::new(config).unwrap().run(&fed, &model).unwrap();
+        assert_eq!(result.rounds.len(), 2);
+        for r in &result.rounds {
+            assert_eq!(r.participants, 0);
+            assert_eq!(r.dropped_clients, 3);
+            assert_eq!(r.round_wall_seconds, 1e-12);
+            assert_eq!(r.selected_samples, 0);
+        }
+        // The global model never moved, so accuracy equals the initial one.
+        let initial = model
+            .clone()
+            .evaluate_accuracy(fed.test().features(), fed.test().labels())
+            .unwrap();
+        assert_eq!(result.rounds[0].test_accuracy, initial);
     }
 
     #[test]

@@ -311,7 +311,7 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`, computed with the cache-blocked,
-    /// register-tiled kernel in [`crate::kernels`] (row-parallel on
+    /// register-tiled kernel in `kernels.rs` (row-parallel on
     /// multi-core hosts for large shapes; results are identical for any
     /// thread count).
     ///

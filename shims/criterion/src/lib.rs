@@ -12,6 +12,13 @@
 //! `CRITERION_JSON` environment variable names a file, one JSON object per
 //! benchmark is appended to it (JSON Lines), which is how the repo's
 //! `BENCH_micro_ops.json` evidence is produced.
+//!
+//! Setting `FEDFT_BENCH_FAST` to any value other than `0` or the empty
+//! string clamps every benchmark to a smoke-test budget (few samples, short
+//! warm-up and measurement windows) regardless of what the bench configured
+//! — the knob CI's `bench-smoke` job uses to exercise the benches in
+//! seconds. Numbers from a fast run are completion evidence, not timings to
+//! compare.
 
 #![forbid(unsafe_code)]
 
@@ -74,10 +81,30 @@ impl Criterion {
         self
     }
 
+    /// The reduced-iteration configuration used when `FEDFT_BENCH_FAST` is
+    /// set: at most 3 samples over short windows, whatever the bench asked
+    /// for.
+    #[must_use]
+    pub fn clamped_fast(&self) -> Self {
+        Criterion {
+            sample_size: self.sample_size.min(3),
+            measurement_time: self.measurement_time.min(Duration::from_millis(30)),
+            warm_up_time: self.warm_up_time.min(Duration::from_millis(10)),
+        }
+    }
+
+    fn effective(&self) -> Self {
+        if fast_mode() {
+            self.clamped_fast()
+        } else {
+            self.clone()
+        }
+    }
+
     /// Measures the closure registered by `f` under the name `id`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut bencher = Bencher {
-            config: self.clone(),
+            config: self.effective(),
             result: None,
         };
         f(&mut bencher);
@@ -160,6 +187,13 @@ impl Bencher {
         }
         self.result = Some(Stats::from_samples(sample_ns, iters_per_sample));
     }
+}
+
+/// Whether the `FEDFT_BENCH_FAST` smoke-test knob is active.
+fn fast_mode() -> bool {
+    std::env::var("FEDFT_BENCH_FAST")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 #[derive(Debug, Clone)]
@@ -308,6 +342,27 @@ mod tests {
         c.bench_function("shim-batched-self-test", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn fast_clamp_reduces_every_budget() {
+        let big = Criterion::default()
+            .sample_size(50)
+            .measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_secs(1));
+        let fast = big.clamped_fast();
+        assert_eq!(fast.sample_size, 3);
+        assert!(fast.measurement_time <= Duration::from_millis(30));
+        assert!(fast.warm_up_time <= Duration::from_millis(10));
+        // Already-small configurations are not inflated.
+        let tiny = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let clamped = tiny.clamped_fast();
+        assert_eq!(clamped.sample_size, 2);
+        assert_eq!(clamped.measurement_time, Duration::from_millis(5));
+        assert_eq!(clamped.warm_up_time, Duration::from_millis(1));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Implements the three distributions the workspace samples from — normal
 //! (Box–Muller), uniform and gamma (Marsaglia–Tsang) — over the `rand` shim's
-//! [`RngCore`]/[`Rng`] traits. Streams differ from the real `rand_distr`
+//! [`RngCore`]/`Rng` traits. Streams differ from the real `rand_distr`
 //! (which uses ziggurat tables); the workspace only relies on determinism and
 //! distributional correctness, never on specific stream values.
 

@@ -1,0 +1,192 @@
+//! End-to-end tests of the device-heterogeneity subsystem: with a two-tier
+//! device mix and a finite round deadline, full-model FedAvg loses the slow
+//! tier while FedFT's partial-training workload keeps every device in the
+//! round — the paper's straggler motivation as an *emergent* result — and
+//! with an infinite deadline the deadline scheduler is bit-identical to the
+//! sequential reference executor.
+
+use fedft::core::{ExecutionBackend, FlConfig, HeterogeneityModel, Method, RunResult, Simulation};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig};
+
+const CLIENTS: usize = 12;
+const SEED: u64 = 4;
+
+fn setup() -> (FederatedDataset, BlockNet) {
+    let target = domains::cifar10_like()
+        .with_samples_per_class(24)
+        .with_test_samples_per_class(6)
+        .generate(2)
+        .expect("target generation");
+    // IID partitioning keeps the shards equally sized, so predicted round
+    // times separate cleanly by tier.
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        CLIENTS,
+        PartitionScheme::Iid,
+        7,
+    )
+    .expect("partitioning");
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes())
+        .with_hidden(24, 24, 24);
+    let model = BlockNet::new(&model_cfg, 5);
+    (fed, model)
+}
+
+fn base_config() -> FlConfig {
+    FlConfig::default()
+        .with_rounds(3)
+        .with_local_epochs(2)
+        .with_batch_size(16)
+        .with_seed(SEED)
+        .with_heterogeneity(HeterogeneityModel::two_tier())
+}
+
+/// Predicted simulated round seconds of every client under `config`,
+/// computed exactly as the deadline scheduler computes them.
+fn predicted_times(fed: &FederatedDataset, model: &BlockNet, config: &FlConfig) -> Vec<f64> {
+    config.heterogeneity.predicted_times(fed, model, config)
+}
+
+fn tier_of(config: &FlConfig, client_id: usize) -> usize {
+    config
+        .heterogeneity
+        .profile_for(client_id, config.seed)
+        .tier_index
+}
+
+/// A deadline every client meets under FedFT but only fast-tier clients
+/// meet under full-model FedAvg (panics if the workloads do not separate,
+/// which would make the scenario vacuous).
+fn separating_deadline(
+    fed: &FederatedDataset,
+    model: &BlockNet,
+    fedavg: &FlConfig,
+    fedft: &FlConfig,
+) -> f64 {
+    let avg_times = predicted_times(fed, model, fedavg);
+    let ft_times = predicted_times(fed, model, fedft);
+    let slow: Vec<usize> = (0..CLIENTS)
+        .filter(|&id| tier_of(fedavg, id) == 1)
+        .collect();
+    let fast: Vec<usize> = (0..CLIENTS)
+        .filter(|&id| tier_of(fedavg, id) == 0)
+        .collect();
+    assert!(
+        !slow.is_empty() && !fast.is_empty(),
+        "seed {SEED} must place clients in both tiers (fast {fast:?}, slow {slow:?})"
+    );
+
+    let ft_max = ft_times.iter().copied().fold(0.0_f64, f64::max);
+    let avg_fast_max = fast.iter().map(|&id| avg_times[id]).fold(0.0_f64, f64::max);
+    let avg_slow_min = slow
+        .iter()
+        .map(|&id| avg_times[id])
+        .fold(f64::INFINITY, f64::min);
+    let lo = ft_max.max(avg_fast_max);
+    assert!(
+        lo < avg_slow_min,
+        "workloads must separate: every FedFT client and fast-tier FedAvg \
+         client ({lo:.4}s) below the slowest-tier FedAvg minimum ({avg_slow_min:.4}s)"
+    );
+    (lo + avg_slow_min) / 2.0
+}
+
+fn run(config: FlConfig, fed: &FederatedDataset, model: &BlockNet) -> RunResult {
+    Simulation::new(config)
+        .expect("valid config")
+        .run(fed, model)
+        .expect("simulation succeeds")
+}
+
+#[test]
+fn deadline_drops_slow_tier_under_fedavg_but_not_under_fedft() {
+    let (fed, model) = setup();
+    let fedavg_cfg = Method::FedAvg.configure(base_config());
+    let fedft_cfg = Method::FedFtEds { pds: 0.25 }.configure(base_config());
+    let deadline = separating_deadline(&fed, &model, &fedavg_cfg, &fedft_cfg);
+    let slow_count = (0..CLIENTS)
+        .filter(|&id| tier_of(&fedavg_cfg, id) == 1)
+        .count();
+    let fast_count = CLIENTS - slow_count;
+
+    let fedavg = run(
+        fedavg_cfg
+            .clone()
+            .with_deadline(deadline)
+            .with_execution(ExecutionBackend::Deadline),
+        &fed,
+        &model,
+    );
+    for record in &fedavg.rounds {
+        assert_eq!(
+            record.dropped_clients, slow_count,
+            "every slow-tier client must miss the deadline under FedAvg"
+        );
+        assert_eq!(record.participants, fast_count);
+        assert_eq!(record.tier_participants, vec![fast_count, 0]);
+        // The server waited out the full deadline for the missing clients.
+        assert_eq!(record.round_wall_seconds, deadline);
+    }
+
+    let fedft = run(
+        fedft_cfg
+            .with_deadline(deadline)
+            .with_execution(ExecutionBackend::Deadline),
+        &fed,
+        &model,
+    );
+    for record in &fedft.rounds {
+        assert_eq!(
+            record.dropped_clients, 0,
+            "the FedFT workload must fit the deadline on every tier"
+        );
+        assert_eq!(record.participants, CLIENTS);
+        assert_eq!(record.tier_participants, vec![fast_count, slow_count]);
+        assert!(record.round_wall_seconds <= deadline);
+    }
+    assert!(fedft.total_dropped_clients() == 0 && fedavg.total_dropped_clients() > 0);
+}
+
+#[test]
+fn infinite_deadline_is_bit_identical_to_the_sequential_executor() {
+    let (fed, model) = setup();
+    // Same heterogeneous mix on both sides: the deadline scheduler with an
+    // infinite deadline (and no offline probability) must reproduce the
+    // sequential reference history bit for bit, wall-clock fields included.
+    let config = Method::FedFtEds { pds: 0.25 }.configure(base_config());
+    let sequential = run(
+        config.clone().with_execution(ExecutionBackend::Sequential),
+        &fed,
+        &model,
+    );
+    let deadline = run(
+        config.with_execution(ExecutionBackend::Deadline),
+        &fed,
+        &model,
+    );
+    assert_eq!(sequential.rounds, deadline.rounds);
+    assert_eq!(sequential.label, deadline.label);
+}
+
+#[test]
+fn offline_probability_produces_availability_drops_without_deadline() {
+    let (fed, model) = setup();
+    let mix = HeterogeneityModel::from_tiers(vec![
+        fedft::core::DeviceTier::new("flaky", 1.0, 1.0).with_drop_probability(0.3)
+    ]);
+    let config = Method::FedFtEds { pds: 0.25 }
+        .configure(base_config().with_rounds(6))
+        .with_heterogeneity(mix)
+        .with_execution(ExecutionBackend::Deadline);
+    let result = run(config, &fed, &model);
+    assert!(
+        result.total_dropped_clients() > 0,
+        "a 30% offline probability must produce drops over 6 rounds"
+    );
+    for record in &result.rounds {
+        assert_eq!(record.participants + record.dropped_clients, CLIENTS);
+    }
+}
