@@ -92,6 +92,7 @@ mod tests {
                 dropped_clients: 0,
                 tier_participants: vec![4],
                 selected_samples: 40,
+                update_staleness: vec![0; 4],
                 round_client_seconds: seconds_per_round,
                 cumulative_client_seconds: seconds_per_round * (i + 1) as f64,
                 round_wall_seconds: seconds_per_round,

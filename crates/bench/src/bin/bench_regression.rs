@@ -1,0 +1,109 @@
+//! CI bench-regression gate: compares a fresh `CRITERION_JSON` run of the
+//! `micro_ops` benches against the committed `BENCH_micro_ops.json` baseline
+//! and exits non-zero on gross regressions (or silently skipped benches), so
+//! the bench artifact stops being eyeball-only.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_regression --fresh criterion.jsonl \
+//!                  [--baseline BENCH_micro_ops.json] \
+//!                  [--threshold 3.0] [--verdict verdict.txt]
+//! ```
+//!
+//! The threshold is deliberately generous: CI hardware is shared and
+//! differs from the baseline host, and the fast bench profile takes few
+//! samples — the gate catches order-of-magnitude breakage, not noise.
+
+use fedft_bench::regression::{self, RegressionReport};
+use std::process::ExitCode;
+
+struct Args {
+    fresh: String,
+    baseline: String,
+    threshold: f64,
+    verdict: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut fresh = None;
+    let mut baseline = "BENCH_micro_ops.json".to_string();
+    let mut threshold = 3.0_f64;
+    let mut verdict = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--fresh" => fresh = Some(value("--fresh")?),
+            "--baseline" => baseline = value("--baseline")?,
+            "--threshold" => {
+                threshold = value("--threshold")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("invalid --threshold: {e}"))?;
+                if !(threshold.is_finite() && threshold >= 1.0) {
+                    return Err(format!("--threshold must be >= 1.0, got {threshold}"));
+                }
+            }
+            "--verdict" => verdict = Some(value("--verdict")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        fresh: fresh.ok_or("--fresh <criterion.jsonl> is required")?,
+        baseline,
+        threshold,
+        verdict,
+    })
+}
+
+fn run(args: &Args) -> Result<RegressionReport, String> {
+    let fresh_text = std::fs::read_to_string(&args.fresh)
+        .map_err(|e| format!("cannot read fresh results `{}`: {e}", args.fresh))?;
+    let baseline_text = std::fs::read_to_string(&args.baseline)
+        .map_err(|e| format!("cannot read baseline `{}`: {e}", args.baseline))?;
+    let fresh = regression::fresh_min_ns(&fresh_text)
+        .map_err(|e| format!("malformed fresh results `{}`: {e}", args.fresh))?;
+    if fresh.is_empty() {
+        return Err(format!(
+            "fresh results `{}` contain no benchmarks",
+            args.fresh
+        ));
+    }
+    let baseline = regression::baseline_min_ns(&baseline_text)
+        .map_err(|e| format!("malformed baseline `{}`: {e}", args.baseline))?;
+    Ok(regression::compare(&baseline, &fresh, args.threshold))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench_regression: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            let rendered = report.render();
+            print!("{rendered}");
+            if let Some(path) = &args.verdict {
+                if let Err(e) = std::fs::write(path, &rendered) {
+                    eprintln!("bench_regression: cannot write verdict `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if report.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_regression: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! CI scaling smoke: a short Sequential vs Parallel vs Async comparison on
+//! a small federated task, recording the first multi-core scaling curve for
+//! this repo (the recorded-bench host is single-core, GitHub runners are
+//! not — see ROADMAP).
+//!
+//! The binary
+//!
+//! 1. runs the same simulation on the `Sequential`, `Parallel` and
+//!    `Async { max_staleness }` backends, timing real wall-clock;
+//! 2. checks the determinism contract: `Parallel` and `Async(0)` histories
+//!    must be bit-identical to `Sequential`;
+//! 3. on multi-core hosts asserts parallel wall-clock ≤ sequential (with a
+//!    small noise allowance) — exit non-zero otherwise;
+//! 4. writes a `BENCH_scaling.json` artifact with the measured curve plus
+//!    the *simulated* wall-clock contrast (async overlap vs synchronous
+//!    rounds), which is hardware-independent.
+//!
+//! Usage: `scaling_smoke [--out BENCH_scaling.json]`. Set
+//! `FEDFT_SCALING_ASSERT=0`/`1` to force the speedup assertion off/on
+//! (default: on when more than one core is available).
+//!
+//! Run via `cargo run --release -p fedft-bench --bin scaling_smoke` — debug
+//! builds are slow enough to distort the curve.
+
+use fedft_core::{ExecutionBackend, FlConfig, HeterogeneityModel, Method, RunResult, Simulation};
+use fedft_data::federated::PartitionScheme;
+use fedft_data::{domains, FederatedDataset};
+use fedft_nn::{BlockNet, BlockNetConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const CLIENTS: usize = 12;
+const ROUNDS: usize = 3;
+const SEED: u64 = 5;
+/// Parallel may be up to this factor slower than sequential before the
+/// smoke check fails — absorbs scheduler noise on shared CI runners while
+/// still catching a parallel path that stopped scaling at all.
+const NOISE_ALLOWANCE: f64 = 1.10;
+
+struct Measurement {
+    label: &'static str,
+    elapsed_seconds: f64,
+    simulated_wall_seconds: f64,
+    max_staleness: usize,
+    result: RunResult,
+}
+
+fn setup() -> Result<(FederatedDataset, BlockNet), Box<dyn std::error::Error>> {
+    // Sized so a sequential run takes on the order of a second in release
+    // mode: long enough that per-round thread fan-out is amortised and a
+    // multi-core host shows a genuine parallel speedup, short enough for a
+    // smoke job.
+    let target = domains::cifar10_like()
+        .with_samples_per_class(600)
+        .with_test_samples_per_class(8)
+        .generate(2)?;
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        CLIENTS,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        7,
+    )?;
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes())
+        .with_hidden(192, 192, 192);
+    Ok((fed, BlockNet::new(&model_cfg, 3)))
+}
+
+fn base_config() -> FlConfig {
+    Method::FedFtEds { pds: 0.5 }.configure(
+        FlConfig::default()
+            .with_rounds(ROUNDS)
+            .with_local_epochs(3)
+            .with_batch_size(16)
+            .with_seed(SEED)
+            .with_participation(0.5)
+            .with_heterogeneity(HeterogeneityModel::two_tier()),
+    )
+}
+
+fn measure(
+    label: &'static str,
+    backend: ExecutionBackend,
+    fed: &FederatedDataset,
+    model: &BlockNet,
+) -> Result<Measurement, Box<dyn std::error::Error>> {
+    let config = base_config().with_execution(backend);
+    let sim = Simulation::new(config)?;
+    let start = Instant::now();
+    let result = sim.run_labelled(label, fed, model)?;
+    let elapsed_seconds = start.elapsed().as_secs_f64();
+    Ok(Measurement {
+        label,
+        elapsed_seconds,
+        simulated_wall_seconds: result.total_wall_seconds(),
+        max_staleness: result.max_update_staleness(),
+        result,
+    })
+}
+
+fn assert_speedup_enabled(cores: usize) -> bool {
+    match std::env::var("FEDFT_SCALING_ASSERT").as_deref() {
+        Ok("0") => false,
+        Ok("") | Err(_) => cores > 1,
+        Ok(_) => true,
+    }
+}
+
+fn render_json(cores: usize, measurements: &[Measurement], asserted: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"benchmark\": \"crates/bench/src/bin/scaling_smoke.rs\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"scenario\": \"{CLIENTS} clients, Dirichlet(0.5), {ROUNDS} rounds, \
+         FedFT-EDS 50%, two-tier mix, 50% participation\","
+    );
+    let _ = writeln!(out, "  \"available_cores\": {cores},");
+    let _ = writeln!(out, "  \"speedup_asserted\": {asserted},");
+    out.push_str("  \"backends\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"elapsed_seconds\": {:.4}, \"simulated_wall_seconds\": {:.4}, \
+             \"max_staleness\": {}}}{comma}",
+            m.label, m.elapsed_seconds, m.simulated_wall_seconds, m.max_staleness
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_scaling.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("scaling_smoke: --out requires a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("scaling_smoke: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("scaling smoke on {cores} core(s): {CLIENTS} clients, {ROUNDS} rounds");
+
+    let (fed, model) = match setup() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("scaling_smoke: setup failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let plan: [(&'static str, ExecutionBackend); 4] = [
+        ("sequential", ExecutionBackend::Sequential),
+        ("parallel", ExecutionBackend::Parallel),
+        ("async_s0", ExecutionBackend::Async { max_staleness: 0 }),
+        ("async_s2", ExecutionBackend::Async { max_staleness: 2 }),
+    ];
+    let mut measurements = Vec::new();
+    for (label, backend) in plan {
+        match measure(label, backend, &fed, &model) {
+            Ok(m) => {
+                println!(
+                    "  {:<10} elapsed {:>7.3}s  simulated wall {:>9.2}s  max staleness {}",
+                    m.label, m.elapsed_seconds, m.simulated_wall_seconds, m.max_staleness
+                );
+                measurements.push(m);
+            }
+            Err(e) => {
+                eprintln!("scaling_smoke: backend {label} failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Determinism contract: parallel and async(0) replay the sequential
+    // history bit for bit.
+    let sequential = &measurements[0];
+    for m in &measurements[1..3] {
+        if m.result.rounds != sequential.result.rounds {
+            eprintln!(
+                "scaling_smoke: {} history diverged from sequential — determinism contract broken",
+                m.label
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    // The async overlap must never *lengthen* the simulated timeline.
+    let async_s2 = &measurements[3];
+    if async_s2.simulated_wall_seconds > sequential.simulated_wall_seconds {
+        eprintln!(
+            "scaling_smoke: async(2) simulated wall {:.2}s exceeds synchronous {:.2}s",
+            async_s2.simulated_wall_seconds, sequential.simulated_wall_seconds
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let asserted = assert_speedup_enabled(cores);
+    let parallel = &measurements[1];
+    if asserted && parallel.elapsed_seconds > sequential.elapsed_seconds * NOISE_ALLOWANCE {
+        eprintln!(
+            "scaling_smoke: parallel wall-clock {:.3}s exceeds sequential {:.3}s on {cores} cores",
+            parallel.elapsed_seconds, sequential.elapsed_seconds
+        );
+        return ExitCode::FAILURE;
+    }
+    if !asserted {
+        println!("  (speedup assertion skipped: {cores} core(s) available)");
+    }
+
+    let json = render_json(cores, &measurements, asserted);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("scaling_smoke: cannot write `{out_path}`: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

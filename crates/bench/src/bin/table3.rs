@@ -1,7 +1,9 @@
 //! Regenerates Table III plus Figures 7, 8 and 9 (the 100-client straggler
-//! scenario), in both straggler models: the paper's fixed participation
-//! fractions and the emergent variant, where a two-tier device mix under a
-//! calibrated round deadline produces the stragglers by itself.
+//! scenario), in all three straggler models: the paper's fixed participation
+//! fractions, the emergent variant (a two-tier device mix under a calibrated
+//! round deadline produces the stragglers by itself), and the async
+//! bounded-staleness lineup (rounds overlap instead of dropping stragglers,
+//! swept over `max_staleness`).
 //!
 //! Usage: `cargo run --release -p fedft-bench --bin table3 [-- --profile fast|paper]`
 
@@ -66,6 +68,35 @@ fn main() {
         }
         Err(err) => {
             eprintln!("emergent table3 experiment failed: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    match table3::run_async(&profile) {
+        Ok(result) => {
+            let main_table = result.to_table();
+            output::print_table(
+                "Table III (async) — accuracy vs max_staleness, two-tier mix",
+                &main_table,
+            );
+            let staleness = result.staleness_table();
+            output::print_table(
+                "Async staleness (mean / max / stale updates / wall clock)",
+                &staleness,
+            );
+
+            for (name, table) in [
+                ("table3_async", &main_table),
+                ("table3_async_staleness", &staleness),
+            ] {
+                match output::write_table_csv(name, table) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(err) => eprintln!("failed to write {name}: {err}"),
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("async table3 experiment failed: {err}");
             std::process::exit(1);
         }
     }

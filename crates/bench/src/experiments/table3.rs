@@ -1,6 +1,6 @@
 //! Table III + Figures 7–9 — the 100-client straggler scenario.
 //!
-//! Two straggler models are offered side by side:
+//! Three straggler models are offered side by side:
 //!
 //! * **Fixed-fraction** ([`lineup`] / [`run_scenario`]): FedAvg is run at
 //!   three participation fractions (`fn` ∈ {100%, 20%, 10%}) to model
@@ -14,6 +14,13 @@
 //!   the full-model round inside the deadline drop out *on their own* —
 //!   "FedAvg loses stragglers, FedFT keeps them" becomes a result of the
 //!   workload model instead of a configured fraction.
+//! * **Async bounded-staleness** ([`async_staleness_levels`] /
+//!   [`run_async_scenario`]): the third answer to stragglers — neither
+//!   shrink the pool nor drop the slow tier, but *overlap* rounds with
+//!   [`fedft_core::AsyncExecutor`]. The same two-tier mix is swept over
+//!   `max_staleness` bounds; accuracy vs staleness (and the shrinking
+//!   simulated wall clock, see [`Table3Result::staleness_table`]) shows the
+//!   freshness/throughput trade-off next to the other two lineups.
 //!
 //! The same runs provide the learning-efficiency points of Figure 7 and the
 //! learning curves of Figures 8 and 9.
@@ -198,6 +205,36 @@ impl Table3Result {
         table
     }
 
+    /// Renders a staleness summary: per run, the mean and maximum staleness
+    /// of aggregated updates, the share of stale updates and the simulated
+    /// wall clock. Only the async lineup produces non-zero staleness; the
+    /// wall-clock column shows what the overlap buys.
+    pub fn staleness_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "task".into(),
+            "alpha".into(),
+            "method".into(),
+            "mean_staleness".into(),
+            "max_staleness".into(),
+            "stale_updates".into(),
+            "wall_clock_s".into(),
+        ]);
+        for scenario in &self.scenarios {
+            for run in &scenario.runs {
+                let _ = table.add_row(vec![
+                    scenario.task.clone(),
+                    format!("{}", scenario.alpha),
+                    run.label.clone(),
+                    format!("{:.2}", run.mean_update_staleness()),
+                    run.max_update_staleness().to_string(),
+                    run.stale_update_count().to_string(),
+                    format!("{:.1}", run.total_wall_seconds()),
+                ]);
+            }
+        }
+        table
+    }
+
     /// Renders the Figures 8/9 learning curves as a long-format table.
     pub fn curves_table(&self) -> Table {
         let mut table = Table::new(vec![
@@ -371,6 +408,70 @@ pub fn run_emergent(profile: &ExperimentProfile) -> Result<Table3Result, FlError
     Ok(Table3Result { scenarios })
 }
 
+/// The `max_staleness` bounds swept by the async lineup. `0` is the
+/// synchronous reference (bit-identical to the sequential backend); the
+/// larger bounds trade freshness for overlap.
+pub fn async_staleness_levels() -> Vec<usize> {
+    vec![0, 1, 2, 4]
+}
+
+/// Runs one (task, alpha) scenario of the async bounded-staleness lineup:
+/// FedFT-EDS on a two-tier device mix with partial participation (so the
+/// straggler bottleneck rotates between rounds and overlap pays off), swept
+/// over `levels` staleness bounds. The `max_staleness = 0` run doubles as
+/// the synchronous baseline for both accuracy and wall clock.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_async_scenario(
+    profile: &ExperimentProfile,
+    task: Task,
+    alpha: f64,
+    levels: &[usize],
+) -> Result<StragglerScenario, FlError> {
+    let source = setup::source_bundle(profile)?;
+    let target = setup::target_bundle(profile, task)?;
+    let pretrained = setup::pretrained_model(profile, &source, &target)?;
+    let fed = setup::federate(&target, profile.clients_large, alpha, profile.seed)?;
+
+    let hetero = HeterogeneityModel::two_tier();
+    let method = Method::FedFtEds { pds: 0.1 };
+    let mut runs = Vec::new();
+    for &max_staleness in levels {
+        let config = method
+            .configure(setup::base_config(profile, profile.rounds_large))
+            .with_participation(0.5)
+            .with_heterogeneity(hetero.clone())
+            .with_async(max_staleness);
+        let label = format!("{} (async s≤{max_staleness})", method.name());
+        runs.push(Simulation::new(config)?.run_labelled(label, &fed, &pretrained)?);
+    }
+    Ok(StragglerScenario {
+        task: task.label().to_string(),
+        alpha,
+        runs,
+    })
+}
+
+/// Runs the async bounded-staleness variant of Table III over both image
+/// tasks: accuracy vs `max_staleness` next to the fixed-fraction and
+/// emergent lineups.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_async(profile: &ExperimentProfile) -> Result<Table3Result, FlError> {
+    let levels = async_staleness_levels();
+    let mut scenarios = Vec::new();
+    for task in [Task::Cifar10, Task::Cifar100] {
+        for alpha in [0.1, 0.5] {
+            scenarios.push(run_async_scenario(profile, task, alpha, &levels)?);
+        }
+    }
+    Ok(Table3Result { scenarios })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,5 +539,32 @@ mod tests {
         assert_eq!(methods.len(), 5);
         assert!(methods.contains(&Method::FedAvg));
         assert!(methods.iter().any(|m| m.uses_partial_finetuning()));
+    }
+
+    #[test]
+    fn async_scenario_sweeps_staleness_and_shrinks_wall_clock() {
+        let profile = ExperimentProfile::tiny();
+        let scenario = run_async_scenario(&profile, Task::Cifar10, 0.5, &[0, 2]).unwrap();
+        assert_eq!(scenario.runs.len(), 2);
+        let sync = &scenario.runs[0];
+        let overlapped = &scenario.runs[1];
+        assert!(sync.label.contains("s≤0"));
+        assert_eq!(sync.max_update_staleness(), 0);
+        assert!(overlapped.max_update_staleness() <= 2);
+        assert!(
+            overlapped.stale_update_count() > 0,
+            "the swept bound must actually produce stale updates"
+        );
+        assert!(
+            overlapped.total_wall_seconds() < sync.total_wall_seconds(),
+            "overlap must shrink the simulated wall clock ({} vs {})",
+            overlapped.total_wall_seconds(),
+            sync.total_wall_seconds()
+        );
+        let result = Table3Result {
+            scenarios: vec![scenario],
+        };
+        assert_eq!(result.staleness_table().len(), 2);
+        assert_eq!(async_staleness_levels()[0], 0);
     }
 }

@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod output;
 pub mod profile;
+pub mod regression;
 pub mod setup;
 
 pub use profile::ExperimentProfile;

@@ -75,7 +75,9 @@ pub struct FlConfig {
     /// How client updates are executed each round. `Sequential` and
     /// `Parallel` produce identical results and only affect wall-clock time
     /// of the simulation; `Deadline` additionally drops stragglers based on
-    /// the heterogeneity model and deadline.
+    /// the heterogeneity model and deadline; `Async` overlaps rounds under a
+    /// bounded-staleness discipline (and reduces to `Sequential` at
+    /// `max_staleness = 0` when no tier has an offline probability).
     pub execution: ExecutionBackend,
 }
 
@@ -174,6 +176,13 @@ impl FlConfig {
         self
     }
 
+    /// Selects asynchronous bounded-staleness execution
+    /// (shorthand for [`ExecutionBackend::Async`]).
+    pub fn with_async(mut self, max_staleness: usize) -> Self {
+        self.execution = ExecutionBackend::Async { max_staleness };
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -217,6 +226,17 @@ impl FlConfig {
             return Err(FlError::InvalidConfig {
                 what: format!(
                     "deadline_seconds must be positive (or infinite), got {}",
+                    self.deadline_seconds
+                ),
+            });
+        }
+        if matches!(self.execution, ExecutionBackend::Async { .. })
+            && self.deadline_seconds.is_finite()
+        {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "the async backend replaces deadline drops with bounded staleness; \
+                     leave deadline_seconds infinite (got {})",
                     self.deadline_seconds
                 ),
             });
@@ -320,6 +340,26 @@ mod tests {
             .with_heterogeneity(HeterogeneityModel::from_tiers(vec![]))
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn async_backend_knob_applies_and_validates() {
+        let c = FlConfig::default().with_async(3);
+        assert_eq!(c.execution, ExecutionBackend::Async { max_staleness: 3 });
+        assert!(c.validate().is_ok());
+        // max_staleness = 0 is the synchronous degenerate case, still valid.
+        assert!(FlConfig::default().with_async(0).validate().is_ok());
+        // Deadlines are a synchronous concept: rejected under async.
+        assert!(FlConfig::default()
+            .with_async(2)
+            .with_deadline(10.0)
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_async(2)
+            .with_deadline(f64::INFINITY)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each round of [`crate::Simulation`] trains every participating client
 //! against the current global model. How those independent local updates are
 //! scheduled is an execution concern, not an algorithmic one, so it lives
-//! behind the [`RoundExecutor`] trait with three implementations:
+//! behind the [`RoundExecutor`] trait with four implementations:
 //!
 //! * [`SequentialExecutor`] — one client after another on the calling
 //!   thread. The reference behaviour.
@@ -21,15 +21,29 @@
 //!   training, and only the survivors are trained (by an inner executor)
 //!   and aggregated. With an infinite deadline and no offline probability it
 //!   degenerates to its inner executor, bit for bit.
+//! * [`AsyncExecutor`] — an event-driven simulated clock with **bounded
+//!   staleness**: instead of dropping slow devices, aggregation rounds
+//!   overlap. A client sampled for round `r` is dispatched as soon as model
+//!   version `r − max_staleness` exists and trains against the freshest
+//!   version available at its dispatch time, so fast devices start on the
+//!   next round while stragglers from earlier rounds are still training.
+//!   Updates carry their staleness to the server, which discounts them
+//!   during aggregation ([`crate::Server::aggregate_stale`]). With
+//!   `max_staleness = 0` (and no offline probability) dispatch stalls until
+//!   the current version exists and the executor degenerates to a
+//!   synchronous round loop, bit for bit.
 //!
 //! The backend is selected by the [`ExecutionBackend`] knob on
 //! [`FlConfig`]; simulation code only sees the trait.
 
 use crate::client::{Client, ClientUpdate};
 use crate::config::FlConfig;
+use crate::device::{DeviceProfile, HeterogeneityModel};
 use crate::{FlError, Result};
 use fedft_nn::BlockNet;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Which backend executes the clients' local updates each round.
 ///
@@ -37,7 +51,9 @@ use serde::{Deserialize, Serialize};
 /// simulation, never its results. `Deadline` additionally *schedules*: it
 /// drops clients that are offline or miss the round deadline, so its results
 /// depend on the [`FlConfig`] heterogeneity and deadline knobs (and reduce
-/// to the other backends' results when those knobs are neutral).
+/// to the other backends' results when those knobs are neutral). `Async`
+/// overlaps aggregation rounds under a staleness bound: results depend on
+/// `max_staleness` and reduce to `Sequential` at `max_staleness = 0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ExecutionBackend {
     /// Train selected clients one after another on the calling thread.
@@ -51,6 +67,18 @@ pub enum ExecutionBackend {
     /// are offline or would miss the deadline, train the survivors in
     /// parallel.
     Deadline,
+    /// Asynchronous bounded-staleness rounds over the device-heterogeneity
+    /// model: clients train against the global-model version available at
+    /// their dispatch time (at most `max_staleness` versions behind the
+    /// round that aggregates them) and the server discounts stale updates.
+    Async {
+        /// Largest number of global-model versions an aggregated update may
+        /// lag behind. `0` forces synchronous rounds — bit-identical to
+        /// [`ExecutionBackend::Sequential`] when no device tier has an
+        /// offline probability (availability draws still apply under async,
+        /// exactly as they do under `Deadline`).
+        max_staleness: usize,
+    },
 }
 
 impl ExecutionBackend {
@@ -60,6 +88,7 @@ impl ExecutionBackend {
             ExecutionBackend::Sequential => "seq",
             ExecutionBackend::Parallel => "par",
             ExecutionBackend::Deadline => "ddl",
+            ExecutionBackend::Async { .. } => "async",
         }
     }
 
@@ -69,6 +98,9 @@ impl ExecutionBackend {
             ExecutionBackend::Sequential => Box::new(SequentialExecutor),
             ExecutionBackend::Parallel => Box::new(ParallelExecutor::new()),
             ExecutionBackend::Deadline => Box::new(DeadlineExecutor::new()),
+            ExecutionBackend::Async { max_staleness } => {
+                Box::new(AsyncExecutor::new(*max_staleness))
+            }
         }
     }
 }
@@ -96,6 +128,33 @@ pub struct DroppedClient {
     pub simulated_seconds: f64,
 }
 
+/// Dispatch/arrival bookkeeping of one asynchronously scheduled update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateTiming {
+    /// Id of the client that produced the update.
+    pub client_id: usize,
+    /// Global-model versions the update lagged behind the round that
+    /// aggregated it (`0` = trained on the freshest model).
+    pub staleness: usize,
+    /// Simulated dispatch time relative to the aggregation round's opening;
+    /// negative offsets mean the client started training under an earlier
+    /// model version, before this round's model even existed.
+    pub dispatch_offset_seconds: f64,
+    /// Simulated training + transfer duration on the client's device.
+    pub simulated_seconds: f64,
+}
+
+/// Round-level timing the async scheduler attaches to a [`RoundOutcome`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AsyncRoundTiming {
+    /// Per-update timing, parallel to [`RoundOutcome::updates`].
+    pub per_update: Vec<UpdateTiming>,
+    /// Simulated wall-clock between this round's aggregation and the
+    /// previous one. Overlap makes this *shorter* than the slowest client's
+    /// duration: stragglers started under earlier versions.
+    pub round_wall_seconds: f64,
+}
+
 /// Everything a round executor reports back: one update per surviving
 /// participant (in participant order) plus the clients it dropped.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -105,6 +164,10 @@ pub struct RoundOutcome {
     /// Clients sampled for the round but dropped by the scheduler, in
     /// participant order. Empty for non-scheduling backends.
     pub drops: Vec<DroppedClient>,
+    /// Staleness and overlap timing, present only for the async backend
+    /// (synchronous backends always train on the freshest model, so their
+    /// wall clock is derived by the simulation instead).
+    pub timing: Option<AsyncRoundTiming>,
 }
 
 impl RoundOutcome {
@@ -113,12 +176,23 @@ impl RoundOutcome {
         RoundOutcome {
             updates,
             drops: Vec::new(),
+            timing: None,
         }
     }
 
     /// Number of sampled clients that did not survive the round.
     pub fn dropped(&self) -> usize {
         self.drops.len()
+    }
+
+    /// Per-update staleness, parallel to [`RoundOutcome::updates`]: the
+    /// async scheduler's recorded values, or all zeros for synchronous
+    /// backends (every update trained on the freshest model).
+    pub fn update_staleness(&self) -> Vec<usize> {
+        match &self.timing {
+            Some(timing) => timing.per_update.iter().map(|t| t.staleness).collect(),
+            None => vec![0; self.updates.len()],
+        }
     }
 }
 
@@ -271,6 +345,29 @@ impl RoundExecutor for ParallelExecutor {
     }
 }
 
+/// Resolves a sampled client's device profile and performs its availability
+/// draw for the round: `Ok(profile)` when the device is online, `Err(drop
+/// record)` when it is offline — the shared preamble of every scheduling
+/// backend ([`DeadlineExecutor`], [`AsyncExecutor`]), so drop accounting
+/// cannot diverge between them.
+fn resolve_or_drop_offline(
+    hetero: &HeterogeneityModel,
+    client: &Client,
+    round: usize,
+    seed: u64,
+) -> std::result::Result<DeviceProfile, DroppedClient> {
+    let profile = hetero.profile_for(client.id(), seed);
+    if hetero.is_offline(&profile, round, seed) {
+        return Err(DroppedClient {
+            client_id: client.id(),
+            tier_index: profile.tier_index,
+            reason: DropReason::Offline,
+            simulated_seconds: 0.0,
+        });
+    }
+    Ok(profile)
+}
+
 /// Deadline-based straggler scheduling over a heterogeneous device
 /// population (virtual clock).
 ///
@@ -344,16 +441,13 @@ impl RoundExecutor for DeadlineExecutor {
         let mut survivors: Vec<&Client> = Vec::with_capacity(participants.len());
         let mut drops: Vec<DroppedClient> = Vec::new();
         for &client in participants {
-            let profile = hetero.profile_for(client.id(), config.seed);
-            if hetero.is_offline(&profile, round, config.seed) {
-                drops.push(DroppedClient {
-                    client_id: client.id(),
-                    tier_index: profile.tier_index,
-                    reason: DropReason::Offline,
-                    simulated_seconds: 0.0,
-                });
-                continue;
-            }
+            let profile = match resolve_or_drop_offline(hetero, client, round, config.seed) {
+                Ok(profile) => profile,
+                Err(drop) => {
+                    drops.push(drop);
+                    continue;
+                }
+            };
             let predicted = hetero.predicted_seconds_from_parts(
                 &profile,
                 &flops,
@@ -382,6 +476,267 @@ impl RoundExecutor for DeadlineExecutor {
         };
         outcome.drops = drops;
         Ok(outcome)
+    }
+}
+
+/// Internal clock state of the [`AsyncExecutor`], advanced once per round.
+///
+/// Version `v` is the global model after `v` aggregations; `version_open[v]`
+/// is the simulated time at which it became available (`version_open[0] =
+/// 0.0`). The executor keeps a snapshot of every version still inside the
+/// staleness window so stale dispatches can train against the exact model
+/// they downloaded.
+#[derive(Debug, Default)]
+struct AsyncClock {
+    /// Simulated opening time of every global-model version so far.
+    version_open: Vec<f64>,
+    /// Retained `(version, model)` snapshots, ascending by version; only
+    /// versions within the staleness window of the current round are kept.
+    history: Vec<(usize, BlockNet)>,
+    /// Absolute simulated time until which each client's device is busy
+    /// training a previously dispatched round.
+    busy_until: HashMap<usize, f64>,
+    /// The round index the executor expects next (rounds must be executed
+    /// in order — the clock is cumulative).
+    next_round: usize,
+}
+
+/// Asynchronous bounded-staleness scheduling over a heterogeneous device
+/// population (event-driven simulated clock).
+///
+/// The executor maintains a virtual timeline of global-model *versions*:
+/// version `r` is the model [`AsyncExecutor::run_round`] receives for round
+/// `r`, created at simulated time `T_r` (`T_0 = 0`). For every sampled
+/// participant of round `r` it:
+///
+/// 1. drops the client with [`DropReason::Offline`] if its availability
+///    draw says the device is offline this round;
+/// 2. **dispatches** the client at `max(T_{r − max_staleness},
+///    busy_until)` — dispatch *stalls* until the oldest version the bound
+///    permits exists, which is exactly how the staleness bound is enforced;
+/// 3. trains the client against the freshest version already published at
+///    its dispatch time, recording `staleness = r − version`;
+/// 4. predicts the client's simulated duration from the cost model and its
+///    [`crate::device::DeviceProfile`] (the same deterministic formula the
+///    deadline scheduler uses) and schedules its arrival.
+///
+/// Round `r` closes — creating version `r + 1` — when the last of its
+/// updates arrives, but never before `T_r`; because stragglers were
+/// dispatched under earlier versions, the per-round wall clock shrinks as
+/// `max_staleness` grows. The survivors' updates are computed by the inner
+/// executor, grouped by the model version they were dispatched against, and
+/// returned in participant order with an [`AsyncRoundTiming`] attached so
+/// the server can discount them by staleness
+/// ([`crate::Server::aggregate_stale`]).
+///
+/// With `max_staleness = 0` every dispatch stalls until the current version
+/// exists, all offsets are zero and the outcome (updates, staleness, wall
+/// clock) is **bit-identical** to a synchronous round over
+/// [`SequentialExecutor`] — provided no device tier has an offline
+/// probability: availability draws still apply under async (like under
+/// [`DeadlineExecutor`]), while the sequential backend trains everyone.
+///
+/// # Contract
+///
+/// `run_round` must be called once per round, in round order, with the
+/// aggregated global model of the previous rounds — the order
+/// [`crate::Simulation`] guarantees. Calling round 0 resets the clock, so
+/// one executor can serve consecutive runs.
+#[derive(Debug)]
+pub struct AsyncExecutor {
+    max_staleness: usize,
+    inner: Box<dyn RoundExecutor>,
+    clock: Mutex<AsyncClock>,
+}
+
+impl AsyncExecutor {
+    /// An async scheduler training dispatched clients on all cores.
+    pub fn new(max_staleness: usize) -> Self {
+        Self::over(max_staleness, ParallelExecutor::new())
+    }
+
+    /// An async scheduler training dispatched clients sequentially.
+    pub fn sequential(max_staleness: usize) -> Self {
+        Self::over(max_staleness, SequentialExecutor)
+    }
+
+    /// Wraps an arbitrary inner executor. Results are identical for every
+    /// (correct) inner executor; only real wall-clock time differs.
+    pub fn over(max_staleness: usize, inner: impl RoundExecutor + 'static) -> Self {
+        AsyncExecutor {
+            max_staleness,
+            inner: Box::new(inner),
+            clock: Mutex::new(AsyncClock::default()),
+        }
+    }
+
+    /// The staleness bound this executor enforces.
+    pub fn max_staleness(&self) -> usize {
+        self.max_staleness
+    }
+}
+
+/// One surviving participant's dispatch decision, before training.
+struct AsyncDispatch<'c> {
+    client: &'c Client,
+    version: usize,
+    dispatch_offset: f64,
+    duration: f64,
+}
+
+impl RoundExecutor for AsyncExecutor {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<RoundOutcome> {
+        if participants.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        let mut clock = self.clock.lock().expect("async clock lock poisoned");
+        if round == 0 {
+            *clock = AsyncClock::default();
+            clock.version_open.push(0.0);
+        } else if round != clock.next_round {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "async executor expected round {}, got {round}: bounded-staleness \
+                     rounds must run in order on one executor",
+                    clock.next_round
+                ),
+            });
+        }
+        let round_open = clock.version_open[round];
+        // Retain only the versions a round ≥ `round` may still dispatch
+        // against, then snapshot this round's model as version `round` —
+        // except at max_staleness = 0, where no later round can ever read
+        // the snapshot (the current version is always `global_model`), so
+        // the per-round model clone is skipped entirely.
+        clock
+            .history
+            .retain(|(v, _)| v + self.max_staleness >= round);
+        if self.max_staleness > 0 {
+            clock.history.push((round, global_model.clone()));
+        }
+
+        let hetero = &config.heterogeneity;
+        // Client-invariant inputs of the duration prediction, once per round.
+        let flops = global_model.flops_per_sample(config.freeze);
+        let traffic = crate::comm::round_traffic(global_model, config.freeze);
+
+        let mut drops: Vec<DroppedClient> = Vec::new();
+        let mut dispatches: Vec<AsyncDispatch> = Vec::with_capacity(participants.len());
+        let mut round_wall = 0.0_f64;
+        for &client in participants {
+            let profile = match resolve_or_drop_offline(hetero, client, round, config.seed) {
+                Ok(profile) => profile,
+                Err(drop) => {
+                    drops.push(drop);
+                    continue;
+                }
+            };
+            // Dispatch stalls until the oldest version the staleness bound
+            // permits exists, and until the device finished its previous
+            // dispatch — this is where `max_staleness` is enforced.
+            let earliest_version = round.saturating_sub(self.max_staleness);
+            let free_at = clock.busy_until.get(&client.id()).copied().unwrap_or(0.0);
+            let dispatch_at = clock.version_open[earliest_version].max(free_at);
+            // Train on the freshest version already published at dispatch
+            // time; `earliest_version` always qualifies, so the search
+            // cannot fail and staleness never exceeds the bound.
+            let version = (earliest_version..=round)
+                .rev()
+                .find(|&v| clock.version_open[v] <= dispatch_at)
+                .unwrap_or(earliest_version);
+            let duration = hetero.predicted_seconds_from_parts(
+                &profile,
+                &flops,
+                &traffic,
+                client.num_samples(),
+                config,
+            );
+            // All arithmetic is kept relative to `round_open` so that at
+            // max_staleness = 0 (offset exactly 0.0) the wall clock is
+            // bit-identical to the synchronous backends' accounting.
+            let dispatch_offset = dispatch_at - round_open;
+            round_wall = round_wall.max(dispatch_offset + duration);
+            clock
+                .busy_until
+                .insert(client.id(), round_open + (dispatch_offset + duration));
+            dispatches.push(AsyncDispatch {
+                client,
+                version,
+                dispatch_offset,
+                duration,
+            });
+        }
+        // The server can close the round the moment it opens if every update
+        // already arrived (or everyone was offline) — time never runs back.
+        round_wall = round_wall.max(0.0);
+
+        // Train survivors grouped by the model version they dispatched
+        // against; scattering the groups back by position restores
+        // participant order, so results match a one-by-one replay exactly.
+        let mut updates: Vec<Option<ClientUpdate>> = (0..dispatches.len()).map(|_| None).collect();
+        let mut versions: Vec<usize> = dispatches.iter().map(|d| d.version).collect();
+        versions.sort_unstable();
+        versions.dedup();
+        for v in versions {
+            let positions: Vec<usize> = dispatches
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.version == v)
+                .map(|(i, _)| i)
+                .collect();
+            let group: Vec<&Client> = positions.iter().map(|&i| dispatches[i].client).collect();
+            // The current version is the model the caller just passed in;
+            // only genuinely stale dispatches read a snapshot.
+            let model: &BlockNet = if v == round {
+                global_model
+            } else {
+                &clock
+                    .history
+                    .iter()
+                    .find(|(hv, _)| *hv == v)
+                    .expect("dispatched version is inside the retained window")
+                    .1
+            };
+            let outcome = self.inner.run_round(&group, model, config, round)?;
+            debug_assert_eq!(outcome.updates.len(), group.len());
+            for (position, update) in positions.into_iter().zip(outcome.updates) {
+                updates[position] = Some(update);
+            }
+        }
+        let updates: Vec<ClientUpdate> = updates
+            .into_iter()
+            .map(|u| u.expect("every dispatched client trained"))
+            .collect();
+        let per_update: Vec<UpdateTiming> = dispatches
+            .iter()
+            .map(|d| UpdateTiming {
+                client_id: d.client.id(),
+                staleness: round - d.version,
+                dispatch_offset_seconds: d.dispatch_offset,
+                simulated_seconds: d.duration,
+            })
+            .collect();
+
+        clock.version_open.push(round_open + round_wall);
+        clock.next_round = round + 1;
+        Ok(RoundOutcome {
+            updates,
+            drops,
+            timing: Some(AsyncRoundTiming {
+                per_update,
+                round_wall_seconds: round_wall,
+            }),
+        })
     }
 }
 
@@ -419,9 +774,19 @@ mod tests {
         assert_eq!(ExecutionBackend::Sequential.short_name(), "seq");
         assert_eq!(ExecutionBackend::Parallel.short_name(), "par");
         assert_eq!(ExecutionBackend::Deadline.short_name(), "ddl");
+        assert_eq!(
+            ExecutionBackend::Async { max_staleness: 2 }.short_name(),
+            "async"
+        );
         assert_eq!(ExecutionBackend::Sequential.executor().name(), "sequential");
         assert_eq!(ExecutionBackend::Parallel.executor().name(), "parallel");
         assert_eq!(ExecutionBackend::Deadline.executor().name(), "deadline");
+        assert_eq!(
+            ExecutionBackend::Async { max_staleness: 2 }
+                .executor()
+                .name(),
+            "async"
+        );
     }
 
     #[test]
@@ -439,6 +804,10 @@ mod tests {
         assert!(matches!(
             DeadlineExecutor::new().run_round(&[], &m, &c, 4),
             Err(FlError::NoParticipants { round: 4 })
+        ));
+        assert!(matches!(
+            AsyncExecutor::new(1).run_round(&[], &m, &c, 0),
+            Err(FlError::NoParticipants { round: 0 })
         ));
     }
 
@@ -535,6 +904,131 @@ mod tests {
             assert_eq!(drop.tier_index, 1);
             assert_eq!(drop.reason, DropReason::MissedDeadline);
         }
+    }
+
+    #[test]
+    fn async_zero_staleness_outcome_matches_sequential_bit_for_bit() {
+        let clients: Vec<Client> = (0..5).map(|id| client(id, 10 + id)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_seed(3);
+        let reference = SequentialExecutor.run_round(&refs, &m, &c, 0).unwrap();
+        let executor = AsyncExecutor::sequential(0);
+        let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
+        assert_eq!(reference.updates, outcome.updates);
+        assert!(outcome.drops.is_empty());
+        let timing = outcome.timing.as_ref().expect("async outcome has timing");
+        assert!(timing.per_update.iter().all(|t| t.staleness == 0));
+        assert!(timing
+            .per_update
+            .iter()
+            .all(|t| t.dispatch_offset_seconds == 0.0));
+        assert_eq!(outcome.update_staleness(), vec![0; 5]);
+        // The round wall clock is exactly the slowest device's duration.
+        let slowest = timing
+            .per_update
+            .iter()
+            .map(|t| t.simulated_seconds)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(timing.round_wall_seconds.to_bits(), slowest.to_bits());
+    }
+
+    #[test]
+    fn async_staleness_is_bounded_and_overlap_shrinks_wall_clock() {
+        let clients: Vec<Client> = (0..8).map(|id| client(id, 14)).collect();
+        let m = model();
+        let base = config()
+            .with_rounds(4)
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_seed(3);
+        // Alternate the participant subset round by round (like partial
+        // participation does) so the slow-tier bottleneck rotates and
+        // overlap can actually pay off.
+        let subset = |round: usize| -> Vec<&Client> {
+            clients.iter().filter(|c| c.id() % 2 == round % 2).collect()
+        };
+        let mut wall = HashMap::new();
+        for bound in [0usize, 2] {
+            let executor = AsyncExecutor::sequential(bound);
+            let mut model = m.clone();
+            let mut total_wall = 0.0;
+            let mut saw_stale = false;
+            for round in 0..4 {
+                let refs = subset(round);
+                let outcome = executor.run_round(&refs, &model, &base, round).unwrap();
+                let timing = outcome.timing.as_ref().unwrap();
+                for t in &timing.per_update {
+                    assert!(
+                        t.staleness <= bound,
+                        "staleness {} exceeds bound {bound}",
+                        t.staleness
+                    );
+                    saw_stale |= t.staleness > 0;
+                }
+                total_wall += timing.round_wall_seconds;
+                // Advance the model like the simulation would, so versions
+                // genuinely differ between rounds.
+                let server = crate::Server::new();
+                let staleness = outcome.update_staleness();
+                let theta = server
+                    .aggregate_stale(&outcome.updates, &staleness, round)
+                    .unwrap();
+                model.set_trainable_vector(base.freeze, &theta).unwrap();
+            }
+            assert!(
+                bound == 0 || saw_stale,
+                "bound {bound} must exercise staleness"
+            );
+            wall.insert(bound, total_wall);
+        }
+        assert!(
+            wall[&2] < wall[&0],
+            "overlap must shrink the simulated wall clock ({} vs {})",
+            wall[&2],
+            wall[&0]
+        );
+    }
+
+    #[test]
+    fn async_executor_rejects_out_of_order_rounds() {
+        let clients: Vec<Client> = (0..2).map(|id| client(id, 10)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config();
+        let executor = AsyncExecutor::sequential(1);
+        executor.run_round(&refs, &m, &c, 0).unwrap();
+        let err = executor.run_round(&refs, &m, &c, 2).unwrap_err();
+        assert!(matches!(err, FlError::InvalidConfig { .. }));
+        // Round 0 resets the clock, so a fresh run on the same executor works.
+        executor.run_round(&refs, &m, &c, 0).unwrap();
+        executor.run_round(&refs, &m, &c, 1).unwrap();
+        assert_eq!(executor.max_staleness(), 1);
+    }
+
+    #[test]
+    fn async_executor_drops_offline_clients() {
+        let clients: Vec<Client> = (0..6).map(|id| client(id, 12)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let flaky = HeterogeneityModel::from_tiers(vec![
+            crate::DeviceTier::new("flaky", 1.0, 1.0).with_drop_probability(0.9)
+        ]);
+        let c = config().with_heterogeneity(flaky).with_seed(9);
+        let executor = AsyncExecutor::sequential(1);
+        let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
+        assert_eq!(outcome.updates.len() + outcome.drops.len(), 6);
+        assert!(
+            !outcome.drops.is_empty(),
+            "a 90% offline probability over 6 clients should drop someone"
+        );
+        assert!(outcome
+            .drops
+            .iter()
+            .all(|d| d.reason == DropReason::Offline));
+        let timing = outcome.timing.unwrap();
+        assert_eq!(timing.per_update.len(), outcome.updates.len());
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   [`executor::DeadlineExecutor`] that drops clients missing a round
 //!   deadline — making the paper's straggler effect *emergent* instead of a
 //!   fixed participation fraction.
+//! * **Asynchronous bounded-staleness rounds** — an event-driven
+//!   [`executor::AsyncExecutor`] overlaps aggregation rounds instead of
+//!   dropping stragglers: clients train against the global-model version
+//!   available at dispatch (at most `max_staleness` versions behind) and
+//!   [`Server::aggregate_stale`] discounts stale updates; `max_staleness =
+//!   0` (with no offline probability) reproduces the synchronous backends
+//!   bit for bit.
 //!
 //! ## Example
 //!
@@ -79,8 +86,8 @@ pub use cost::CostModel;
 pub use device::{DeviceProfile, DeviceTier, HeterogeneityModel};
 pub use error::FlError;
 pub use executor::{
-    DeadlineExecutor, DropReason, DroppedClient, ExecutionBackend, ParallelExecutor, RoundExecutor,
-    RoundOutcome, SequentialExecutor,
+    AsyncExecutor, AsyncRoundTiming, DeadlineExecutor, DropReason, DroppedClient, ExecutionBackend,
+    ParallelExecutor, RoundExecutor, RoundOutcome, SequentialExecutor, UpdateTiming,
 };
 pub use methods::Method;
 pub use metrics::{RoundRecord, RunResult};

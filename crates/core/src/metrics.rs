@@ -24,6 +24,11 @@ pub struct RoundRecord {
     pub tier_participants: Vec<usize>,
     /// Total number of samples selected for training across participants.
     pub selected_samples: usize,
+    /// Per-update staleness, parallel to the aggregated updates: how many
+    /// global-model versions each update lagged behind this round. All
+    /// zeros under the synchronous backends; bounded by `max_staleness`
+    /// under [`crate::ExecutionBackend::Async`].
+    pub update_staleness: Vec<usize>,
     /// Simulated client compute seconds spent in this round (summed over
     /// participants), on the nominal device — the paper's learning-
     /// efficiency denominator.
@@ -118,6 +123,41 @@ impl RunResult {
         totals
     }
 
+    /// Largest staleness of any aggregated update over the whole run.
+    /// `0` for synchronous runs; at most `max_staleness` for async runs.
+    pub fn max_update_staleness(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.update_staleness.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean staleness over every aggregated update of the run; `0.0` when
+    /// no updates were aggregated.
+    pub fn mean_update_staleness(&self) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for record in &self.rounds {
+            total += record.update_staleness.iter().sum::<usize>();
+            count += record.update_staleness.len();
+        }
+        if count == 0 {
+            return 0.0;
+        }
+        total as f64 / count as f64
+    }
+
+    /// Number of aggregated updates that were stale (staleness > 0) over
+    /// the whole run.
+    pub fn stale_update_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.update_staleness.iter())
+            .filter(|&&s| s > 0)
+            .count()
+    }
+
     /// The paper's learning-efficiency metric: best test accuracy (in
     /// percentage points) divided by the total client training time in
     /// seconds. Returns `0.0` when no time was spent.
@@ -170,6 +210,7 @@ mod tests {
             dropped_clients: 2,
             tier_participants: vec![7, 3],
             selected_samples: 100,
+            update_staleness: vec![0, 1, 2, 0, 0, 0, 0, 0, 0, 0],
             round_client_seconds: 1.0,
             cumulative_client_seconds: cumulative,
             round_wall_seconds: 5.0,
@@ -226,6 +267,19 @@ mod tests {
         assert!((r.mean_participants() - 10.0).abs() < 1e-12);
         assert_eq!(r.tier_participation_totals(), vec![21, 9]);
         assert_eq!(r.total_wall_seconds(), 15.0);
+    }
+
+    #[test]
+    fn staleness_summaries_aggregate_rounds() {
+        let r = run();
+        // Each round records staleness [0,1,2,0,...]: max 2, 2 stale of 10.
+        assert_eq!(r.max_update_staleness(), 2);
+        assert_eq!(r.stale_update_count(), 6);
+        assert!((r.mean_update_staleness() - 0.3).abs() < 1e-12);
+        let empty = RunResult::new("empty", vec![]);
+        assert_eq!(empty.max_update_staleness(), 0);
+        assert_eq!(empty.stale_update_count(), 0);
+        assert_eq!(empty.mean_update_staleness(), 0.0);
     }
 
     #[test]

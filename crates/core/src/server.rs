@@ -65,6 +65,83 @@ impl Server {
             .map(|u| u.selected_samples as f32 / total_selected as f32)
             .collect()
     }
+
+    /// The multiplicative discount applied to an update that lagged
+    /// `staleness` global-model versions behind its aggregation round: the
+    /// polynomial schedule `1 / (1 + s)`, so a fresh update keeps its full
+    /// weight and every extra version of lag halves, thirds, … it.
+    pub fn staleness_discount(staleness: usize) -> f32 {
+        1.0 / (1.0 + staleness as f32)
+    }
+
+    /// Aggregates client updates whose `staleness[i]` records how many
+    /// global-model versions update `i` lagged behind this round (produced
+    /// by [`crate::executor::AsyncExecutor`]).
+    ///
+    /// Weights are proportional to `selected_samples ×`
+    /// [`Server::staleness_discount`], normalised over the participants —
+    /// a convex combination, like the synchronous path. When every update is
+    /// fresh (`staleness == 0` throughout, in particular for
+    /// `max_staleness = 0`), all discounts are `1` and the method delegates
+    /// to [`Server::aggregate`], so the result is **bit-identical** to
+    /// synchronous aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoParticipants`] for an empty round,
+    /// [`FlError::InvalidConfig`] when `staleness` and `updates` disagree in
+    /// length, and an error if the parameter vectors disagree in length.
+    pub fn aggregate_stale(
+        &self,
+        updates: &[ClientUpdate],
+        staleness: &[usize],
+        round: usize,
+    ) -> Result<ParamVector> {
+        if updates.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        if staleness.len() != updates.len() {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "aggregate_stale got {} staleness entries for {} updates",
+                    staleness.len(),
+                    updates.len()
+                ),
+            });
+        }
+        if staleness.iter().all(|&s| s == 0) {
+            return self.aggregate(updates, round);
+        }
+        let weights = self.staleness_weights(updates, staleness);
+        let entries: Vec<(ParamVector, f32)> = updates
+            .iter()
+            .zip(weights)
+            .map(|(u, w)| (u.theta.clone(), w))
+            .collect();
+        ParamVector::weighted_average(&entries).map_err(FlError::from)
+    }
+
+    /// The convex weights [`Server::aggregate_stale`] uses: proportional to
+    /// `selected_samples × staleness_discount`, normalised to sum to one.
+    /// Falls back to discount-only weights when no update selected any
+    /// samples (mirroring the uniform fallback of the synchronous path).
+    pub fn staleness_weights(&self, updates: &[ClientUpdate], staleness: &[usize]) -> Vec<f32> {
+        let raw: Vec<f32> = updates
+            .iter()
+            .zip(staleness)
+            .map(|(u, &s)| u.selected_samples as f32 * Self::staleness_discount(s))
+            .collect();
+        let total: f32 = raw.iter().sum();
+        if total > 0.0 {
+            return raw.into_iter().map(|w| w / total).collect();
+        }
+        let raw: Vec<f32> = staleness
+            .iter()
+            .map(|&s| Self::staleness_discount(s))
+            .collect();
+        let total: f32 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +219,72 @@ mod tests {
         let server = Server::new();
         let updates = vec![update(0, vec![1.0, 2.0], 4), update(1, vec![1.0], 4)];
         assert!(server.aggregate(&updates, 0).is_err());
+    }
+
+    #[test]
+    fn staleness_discount_is_polynomial() {
+        assert_eq!(Server::staleness_discount(0), 1.0);
+        assert_eq!(Server::staleness_discount(1), 0.5);
+        assert_eq!(Server::staleness_discount(3), 0.25);
+    }
+
+    #[test]
+    fn zero_staleness_aggregation_is_bit_identical_to_the_synchronous_path() {
+        let server = Server::new();
+        let updates = vec![
+            update(0, vec![0.1, 0.9], 7),
+            update(1, vec![0.3, -0.4], 13),
+            update(2, vec![-0.2, 0.5], 29),
+        ];
+        let sync = server.aggregate(&updates, 2).unwrap();
+        let stale = server.aggregate_stale(&updates, &[0, 0, 0], 2).unwrap();
+        for (a, b) in sync.values().iter().zip(stale.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn stale_updates_are_discounted() {
+        let server = Server::new();
+        // Equal sample counts: the only weight difference is the discount.
+        let updates = vec![update(0, vec![0.0], 10), update(1, vec![8.0], 10)];
+        let fresh = server.aggregate_stale(&updates, &[0, 0], 0).unwrap();
+        assert!((fresh.values()[0] - 4.0).abs() < 1e-6);
+        // Client 1 three versions stale: weight 10*0.25 vs 10*1.0 → 0.2.
+        let stale = server.aggregate_stale(&updates, &[0, 3], 0).unwrap();
+        assert!((stale.values()[0] - 1.6).abs() < 1e-6);
+        let weights = server.staleness_weights(&updates, &[0, 3]);
+        assert!((weights[0] - 0.8).abs() < 1e-6);
+        assert!((weights[1] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staleness_weights_are_convex() {
+        let server = Server::new();
+        let selected = [0usize, 3, 11, 40];
+        let stale = [0usize, 1, 2, 7];
+        for (i, &a) in selected.iter().enumerate() {
+            for &b in &selected {
+                let updates = vec![update(0, vec![1.0], a), update(1, vec![2.0], b)];
+                let staleness = [stale[i], stale[(i + 1) % stale.len()]];
+                let weights = server.staleness_weights(&updates, &staleness);
+                assert!((weights.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+                assert!(weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_stale_validates_inputs() {
+        let server = Server::new();
+        assert!(matches!(
+            server.aggregate_stale(&[], &[], 5).unwrap_err(),
+            FlError::NoParticipants { round: 5 }
+        ));
+        let updates = vec![update(0, vec![1.0], 4)];
+        assert!(matches!(
+            server.aggregate_stale(&updates, &[0, 1], 0).unwrap_err(),
+            FlError::InvalidConfig { .. }
+        ));
     }
 }

@@ -101,9 +101,14 @@ impl Simulation {
                 participant_ids.iter().map(|&id| &clients[id]).collect();
             let outcome = executor.run_round(&participants, &global_model, &self.config, round)?;
             let updates = &outcome.updates;
+            let update_staleness = outcome.update_staleness();
 
             if !updates.is_empty() {
-                let theta = server.aggregate(updates, round)?;
+                // All-fresh rounds (every synchronous backend, and async
+                // ones that kept up) delegate to the plain path inside
+                // `aggregate_stale`, so this is bit-identical to the
+                // pre-async aggregation whenever no update is stale.
+                let theta = server.aggregate_stale(updates, &update_staleness, round)?;
                 global_model.set_trainable_vector(self.config.freeze, &theta)?;
             }
             // An all-dropped round (every sampled device offline or past the
@@ -120,24 +125,36 @@ impl Simulation {
                 updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
             let selected_samples = updates.iter().map(|u| u.selected_samples).sum();
 
-            // Simulated wall-clock of the synchronous round: the slowest
-            // surviving device, or the full deadline when someone missed it.
             let mut tier_participants = vec![0usize; hetero.num_tiers()];
-            let mut round_wall_seconds = 0.0_f64;
             for update in updates {
-                let profile = &profiles[update.client_id];
-                let effective =
-                    hetero.simulated_round_seconds(profile, update.compute_seconds, &traffic);
-                round_wall_seconds = round_wall_seconds.max(effective);
-                tier_participants[profile.tier_index] += 1;
+                tier_participants[profiles[update.client_id].tier_index] += 1;
             }
-            // A synchronous server cannot tell an offline device from a
-            // straggler: any drop means it waited out the full (finite)
-            // deadline. Without a deadline there is nothing to wait for, so
-            // drop-only rounds fall back to the slowest survivor.
-            if !outcome.drops.is_empty() && self.config.deadline_seconds.is_finite() {
-                round_wall_seconds = self.config.deadline_seconds;
-            }
+            let round_wall_seconds = if let Some(timing) = &outcome.timing {
+                // The async scheduler already accounts for overlap: its wall
+                // clock is the gap between consecutive aggregations, not the
+                // slowest client.
+                timing.round_wall_seconds
+            } else {
+                // Simulated wall-clock of the synchronous round: the slowest
+                // surviving device, or the full deadline when someone missed
+                // it.
+                let mut slowest = 0.0_f64;
+                for update in updates {
+                    let profile = &profiles[update.client_id];
+                    let effective =
+                        hetero.simulated_round_seconds(profile, update.compute_seconds, &traffic);
+                    slowest = slowest.max(effective);
+                }
+                // A synchronous server cannot tell an offline device from a
+                // straggler: any drop means it waited out the full (finite)
+                // deadline. Without a deadline there is nothing to wait for,
+                // so drop-only rounds fall back to the slowest survivor.
+                if !outcome.drops.is_empty() && self.config.deadline_seconds.is_finite() {
+                    self.config.deadline_seconds
+                } else {
+                    slowest
+                }
+            };
             cumulative_wall += round_wall_seconds;
 
             rounds.push(RoundRecord {
@@ -149,6 +166,7 @@ impl Simulation {
                 dropped_clients: outcome.dropped(),
                 tier_participants,
                 selected_samples,
+                update_staleness,
                 round_client_seconds,
                 cumulative_client_seconds: cumulative_seconds,
                 round_wall_seconds,
@@ -320,6 +338,37 @@ mod tests {
             .evaluate_accuracy(fed.test().features(), fed.test().labels())
             .unwrap();
         assert_eq!(result.rounds[0].test_accuracy, initial);
+    }
+
+    #[test]
+    fn async_zero_staleness_matches_sequential_history() {
+        let (fed, model) = tiny_setup(5);
+        let sequential = Simulation::new(quick_config(3))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        let zero = Simulation::new(quick_config(3).with_async(0))
+            .unwrap()
+            .run(&fed, &model)
+            .unwrap();
+        assert_eq!(sequential.rounds, zero.rounds);
+        assert_eq!(sequential.label, zero.label);
+        assert_eq!(zero.max_update_staleness(), 0);
+    }
+
+    #[test]
+    fn async_records_bounded_staleness_with_partial_participation() {
+        let (fed, model) = tiny_setup(8);
+        let config = quick_config(4)
+            .with_participation(0.5)
+            .with_heterogeneity(crate::device::HeterogeneityModel::two_tier())
+            .with_async(2);
+        let result = Simulation::new(config).unwrap().run(&fed, &model).unwrap();
+        for r in &result.rounds {
+            assert_eq!(r.update_staleness.len(), r.participants);
+            assert!(r.update_staleness.iter().all(|&s| s <= 2));
+        }
+        assert!(result.max_update_staleness() <= 2);
     }
 
     #[test]
