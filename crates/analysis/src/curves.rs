@@ -11,13 +11,24 @@ pub struct EfficiencyPoint {
     pub label: String,
     /// Best test accuracy over the run, in percentage points.
     pub best_accuracy_pct: f64,
-    /// Learning efficiency: accuracy points per simulated client second.
+    /// Learning efficiency: accuracy points per simulated client second,
+    /// under the paper-faithful workload accounting (frozen prefix
+    /// recomputed every batch and selection pass).
     pub efficiency: f64,
-    /// Total simulated client seconds of the run.
+    /// Total simulated client seconds of the run (paper-faithful).
     pub total_client_seconds: f64,
+    /// Learning efficiency under the **cached** workload accounting:
+    /// frozen-prefix activations served from a feature cache, so clients
+    /// only pay for the trainable suffix. Quantifies the extra headroom
+    /// partial training offers once frozen work is memoised on-device.
+    pub cached_efficiency: f64,
+    /// Total simulated client seconds of the run under the cached
+    /// accounting.
+    pub total_client_seconds_cached: f64,
 }
 
-/// Builds the learning-efficiency points for a collection of runs.
+/// Builds the learning-efficiency points for a collection of runs, carrying
+/// both workload accountings (paper-faithful and cached).
 pub fn efficiency_points(runs: &[RunResult]) -> Vec<EfficiencyPoint> {
     runs.iter()
         .map(|run| EfficiencyPoint {
@@ -25,6 +36,8 @@ pub fn efficiency_points(runs: &[RunResult]) -> Vec<EfficiencyPoint> {
             best_accuracy_pct: f64::from(run.best_accuracy()) * 100.0,
             efficiency: run.learning_efficiency(),
             total_client_seconds: run.total_client_seconds(),
+            cached_efficiency: run.cached_learning_efficiency(),
+            total_client_seconds_cached: run.total_client_seconds_cached(),
         })
         .collect()
 }
@@ -95,6 +108,8 @@ mod tests {
                 update_staleness: vec![0; 4],
                 round_client_seconds: seconds_per_round,
                 cumulative_client_seconds: seconds_per_round * (i + 1) as f64,
+                round_client_seconds_cached: seconds_per_round / 2.0,
+                cumulative_client_seconds_cached: seconds_per_round * (i + 1) as f64 / 2.0,
                 round_wall_seconds: seconds_per_round,
                 cumulative_wall_seconds: seconds_per_round * (i + 1) as f64,
             })
@@ -114,6 +129,10 @@ mod tests {
         assert!((points[0].best_accuracy_pct - 60.0).abs() < 1e-3);
         assert!(points[0].efficiency > points[1].efficiency);
         assert!((points[1].total_client_seconds - 20.0).abs() < 1e-9);
+        // The cached accounting rides along: the helper records half the
+        // paper-faithful seconds per round, so cached efficiency doubles.
+        assert!((points[1].total_client_seconds_cached - 10.0).abs() < 1e-9);
+        assert!((points[0].cached_efficiency - 2.0 * points[0].efficiency).abs() < 1e-9);
     }
 
     #[test]

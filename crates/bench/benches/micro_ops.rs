@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks for the primitives every experiment is built
 //! on: matrix multiplication, softmax + entropy scoring, entropy-based
-//! selection, weighted aggregation and a single client local update.
+//! selection, weighted aggregation, and a single client local update —
+//! uncached (paper-faithful workload) and with the frozen-feature cache.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fedft_core::entropy::{sample_entropies, sample_entropies_from_boundary};
 use fedft_core::{Client, ClientUpdate, FlConfig, SelectionStrategy, Server};
 use fedft_data::Dataset;
-use fedft_nn::{BlockNet, BlockNetConfig, ParamVector};
+use fedft_nn::{BlockNet, BlockNetConfig, FreezeLevel, ParamVector};
 use fedft_tensor::{init, rng, stats, Matrix};
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -55,7 +57,22 @@ fn bench_entropy_selection(c: &mut Criterion) {
         temperature: 0.1,
     };
     c.bench_function("entropy_selection_200_samples", |bencher| {
-        bencher.iter(|| strategy.select(&mut model, &dataset, 0, 0, 7).unwrap())
+        bencher.iter(|| {
+            let entropies = sample_entropies(&mut model, dataset.features(), 0.1).unwrap();
+            strategy.select_from_entropies(&entropies).unwrap()
+        })
+    });
+
+    // The cached path: boundary activations precomputed once, every
+    // selection pass runs the trainable suffix only.
+    let freeze = FreezeLevel::Classifier;
+    let boundary = model.forward_frozen(freeze, dataset.features()).unwrap();
+    let mut suffix = model.trainable_suffix(freeze);
+    c.bench_function("entropy_selection_cached_200_samples", |bencher| {
+        bencher.iter(|| {
+            let entropies = sample_entropies_from_boundary(&mut suffix, &boundary, 0.1).unwrap();
+            strategy.select_from_entropies(&entropies).unwrap()
+        })
     });
 }
 
@@ -69,6 +86,7 @@ fn bench_aggregation(c: &mut Criterion) {
             local_samples: 100,
             train_loss: 0.1,
             compute_seconds: 1.0,
+            cached_compute_seconds: 0.5,
         })
         .collect();
     c.bench_function("aggregate_50_clients_10k_params", |bencher| {
@@ -97,6 +115,35 @@ fn bench_client_local_update(c: &mut Criterion) {
     });
 }
 
+/// The acceptance pair for the frozen-feature cache: the same local round at
+/// `FreezeLevel::Classifier` (deepest frozen prefix, the paper's cheapest
+/// client) with the cache off and on. The cached client is shared across
+/// iterations so the steady-state (warm-cache) path dominates, mirroring a
+/// multi-round run where the build cost amortises away.
+fn bench_client_local_update_cached(c: &mut Criterion) {
+    let model = BlockNet::new(&BlockNetConfig::new(48, 10).with_hidden(64, 64, 64), 1);
+    let features = random_matrix(100, 48, 5);
+    let dataset = Dataset::new(features, (0..100).map(|i| i % 10).collect(), 10).unwrap();
+    let base = FlConfig::default()
+        .with_rounds(1)
+        .with_local_epochs(1)
+        .with_batch_size(32)
+        .with_freeze(FreezeLevel::Classifier)
+        .with_selection(SelectionStrategy::Entropy {
+            fraction: 0.1,
+            temperature: 0.1,
+        });
+    let uncached_cfg = base.clone();
+    let cached_cfg = base.with_feature_cache(true);
+    let client = Client::new(0, dataset);
+    c.bench_function("client_local_update_classifier_uncached_100_samples", |b| {
+        b.iter(|| client.local_update(&model, &uncached_cfg, 0).unwrap())
+    });
+    c.bench_function("client_local_update_classifier_cached_100_samples", |b| {
+        b.iter(|| client.local_update(&model, &cached_cfg, 0).unwrap())
+    });
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
@@ -104,6 +151,7 @@ criterion_group!(
         bench_softmax_entropy,
         bench_entropy_selection,
         bench_aggregation,
-        bench_client_local_update
+        bench_client_local_update,
+        bench_client_local_update_cached
 );
 criterion_main!(micro);

@@ -6,9 +6,10 @@
 //! The binary
 //!
 //! 1. runs the same simulation on the `Sequential`, `Parallel` and
-//!    `Async { max_staleness }` backends, timing real wall-clock;
-//! 2. checks the determinism contract: `Parallel` and `Async(0)` histories
-//!    must be bit-identical to `Sequential`;
+//!    `Async { max_staleness }` backends, timing real wall-clock, plus one
+//!    `Sequential` run with the frozen-feature cache enabled;
+//! 2. checks the determinism contracts: `Parallel`, `Async(0)` *and* the
+//!    cache-enabled run's histories must be bit-identical to `Sequential`;
 //! 3. on multi-core hosts asserts parallel wall-clock ≤ sequential (with a
 //!    small noise allowance) — exit non-zero otherwise;
 //! 4. writes a `BENCH_scaling.json` artifact with the measured curve plus
@@ -81,11 +82,10 @@ fn base_config() -> FlConfig {
 
 fn measure(
     label: &'static str,
-    backend: ExecutionBackend,
+    config: FlConfig,
     fed: &FederatedDataset,
     model: &BlockNet,
 ) -> Result<Measurement, Box<dyn std::error::Error>> {
-    let config = base_config().with_execution(backend);
     let sim = Simulation::new(config)?;
     let start = Instant::now();
     let result = sim.run_labelled(label, fed, model)?;
@@ -164,15 +164,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let plan: [(&'static str, ExecutionBackend); 4] = [
-        ("sequential", ExecutionBackend::Sequential),
-        ("parallel", ExecutionBackend::Parallel),
-        ("async_s0", ExecutionBackend::Async { max_staleness: 0 }),
-        ("async_s2", ExecutionBackend::Async { max_staleness: 2 }),
+    let plan: [(&'static str, FlConfig); 5] = [
+        (
+            "sequential",
+            base_config().with_execution(ExecutionBackend::Sequential),
+        ),
+        (
+            "parallel",
+            base_config().with_execution(ExecutionBackend::Parallel),
+        ),
+        ("async_s0", base_config().with_async(0)),
+        ("async_s2", base_config().with_async(2)),
+        // The frozen-feature cache must replay the sequential history bit
+        // for bit while skipping the frozen prefix's recomputation.
+        (
+            "sequential_cached",
+            base_config()
+                .with_execution(ExecutionBackend::Sequential)
+                .with_feature_cache(true),
+        ),
     ];
     let mut measurements = Vec::new();
-    for (label, backend) in plan {
-        match measure(label, backend, &fed, &model) {
+    for (label, config) in plan {
+        match measure(label, config, &fed, &model) {
             Ok(m) => {
                 println!(
                     "  {:<10} elapsed {:>7.3}s  simulated wall {:>9.2}s  max staleness {}",
@@ -187,10 +201,19 @@ fn main() -> ExitCode {
         }
     }
 
-    // Determinism contract: parallel and async(0) replay the sequential
-    // history bit for bit.
-    let sequential = &measurements[0];
-    for m in &measurements[1..3] {
+    // Measurements are addressed by label, not position, so editing the
+    // plan can never silently re-point a contract at the wrong run.
+    let by_label = |label: &str| -> &Measurement {
+        measurements
+            .iter()
+            .find(|m| m.label == label)
+            .unwrap_or_else(|| panic!("plan is missing the `{label}` run"))
+    };
+    // Determinism contracts: parallel, async(0) and the cache-enabled run
+    // all replay the sequential history bit for bit.
+    let sequential = by_label("sequential");
+    for label in ["parallel", "async_s0", "sequential_cached"] {
+        let m = by_label(label);
         if m.result.rounds != sequential.result.rounds {
             eprintln!(
                 "scaling_smoke: {} history diverged from sequential — determinism contract broken",
@@ -200,7 +223,7 @@ fn main() -> ExitCode {
         }
     }
     // The async overlap must never *lengthen* the simulated timeline.
-    let async_s2 = &measurements[3];
+    let async_s2 = by_label("async_s2");
     if async_s2.simulated_wall_seconds > sequential.simulated_wall_seconds {
         eprintln!(
             "scaling_smoke: async(2) simulated wall {:.2}s exceeds synchronous {:.2}s",
@@ -210,7 +233,7 @@ fn main() -> ExitCode {
     }
 
     let asserted = assert_speedup_enabled(cores);
-    let parallel = &measurements[1];
+    let parallel = by_label("parallel");
     if asserted && parallel.elapsed_seconds > sequential.elapsed_seconds * NOISE_ALLOWANCE {
         eprintln!(
             "scaling_smoke: parallel wall-clock {:.3}s exceeds sequential {:.3}s on {cores} cores",

@@ -1,0 +1,225 @@
+//! Per-client cache of frozen-prefix boundary activations.
+//!
+//! A client's local dataset never changes, and the frozen backbone `ϕ` never
+//! changes during a federated run (the server only aggregates the trainable
+//! part `θ`). The boundary activations `ϕ(x)` of the client's local data are
+//! therefore **round-invariant**, yet the uncached simulator recomputes them
+//! for every batch of every epoch of every round — plus once more for the
+//! entropy-selection pass. [`FeatureCache`] computes them once per
+//! `(freeze level, backbone)` pair and serves row-gathered views afterwards.
+//!
+//! Entries are keyed by [`fedft_nn::BlockNet::frozen_fingerprint`], a hash
+//! over the frozen parameter bits, so a cache can never serve activations
+//! computed under a *different* backbone: a new run with a different
+//! pretrained model simply misses and rebuilds. Because the cached rows are
+//! produced by the same kernels on the same inputs as the uncached per-batch
+//! forward (and every kernel accumulates in a row-partition-invariant
+//! order), training from cached rows is bit-identical to recomputing them —
+//! the contract `tests/feature_cache_e2e.rs` pins end to end.
+
+use crate::Result;
+use fedft_nn::{BlockNet, FreezeLevel};
+use fedft_tensor::Matrix;
+use std::sync::{Arc, Mutex};
+
+/// One cached set of boundary activations.
+#[derive(Debug)]
+struct CacheEntry {
+    freeze: FreezeLevel,
+    fingerprint: u64,
+    source_checksum: u64,
+    features: Arc<Matrix>,
+}
+
+/// A cheap checksum of the source feature matrix a cache entry was built
+/// from: shape plus an FNV-1a over the first and last rows. A client's
+/// dataset never changes, so this never misses in the intended use; it
+/// exists to catch *misuse* — handing the same cache a different feature
+/// matrix — which would otherwise silently return activations of the wrong
+/// data. `O(cols)`, so it costs nothing next to the lookups it guards.
+fn source_checksum(features: &Matrix) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    let mut mix = |value: u64| {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(features.rows() as u64);
+    mix(features.cols() as u64);
+    if features.rows() > 0 {
+        for &v in features.row(0) {
+            mix(u64::from(v.to_bits()));
+        }
+        for &v in features.row(features.rows() - 1) {
+            mix(u64::from(v.to_bits()));
+        }
+    }
+    hash
+}
+
+/// A lazily built, thread-safe cache of frozen-prefix boundary activations
+/// for one client's local dataset.
+///
+/// Cloning a `FeatureCache` shares the underlying storage (the cache is
+/// keyed by backbone fingerprint, so sharing between clones of the same
+/// client is always sound). The cache holds at most one entry per freeze
+/// level: a fingerprint mismatch (new backbone) or source-checksum mismatch
+/// (different feature matrix) evicts the stale entry and rebuilds.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    entries: Arc<Mutex<Vec<CacheEntry>>>,
+}
+
+impl FeatureCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FeatureCache::default()
+    }
+
+    /// Returns the cached boundary activations of `features` under
+    /// `model`'s frozen prefix at `freeze`, computing and storing them on
+    /// the first call (and whenever the backbone fingerprint or the source
+    /// features change).
+    ///
+    /// One cache is meant to serve **one** feature matrix (a client's local
+    /// dataset); a lightweight shape-and-sample checksum of the source
+    /// guards the hit path so that passing a different matrix rebuilds
+    /// instead of silently returning another dataset's activations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the frozen forward pass.
+    pub fn get_or_build(
+        &self,
+        model: &BlockNet,
+        freeze: FreezeLevel,
+        features: &Matrix,
+    ) -> Result<Arc<Matrix>> {
+        let fingerprint = model.frozen_fingerprint(freeze);
+        let checksum = source_checksum(features);
+        let mut entries = self.entries.lock().expect("feature cache lock poisoned");
+        if let Some(entry) = entries.iter().find(|e| {
+            e.freeze == freeze && e.fingerprint == fingerprint && e.source_checksum == checksum
+        }) {
+            return Ok(Arc::clone(&entry.features));
+        }
+        let boundary = Arc::new(model.forward_frozen(freeze, features)?);
+        entries.retain(|e| e.freeze != freeze);
+        entries.push(CacheEntry {
+            freeze,
+            fingerprint,
+            source_checksum: checksum,
+            features: Arc::clone(&boundary),
+        });
+        Ok(boundary)
+    }
+
+    /// Number of freeze levels currently cached.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("feature cache lock poisoned")
+            .len()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .expect("feature cache lock poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedft_nn::BlockNetConfig;
+
+    fn model(seed: u64) -> BlockNet {
+        BlockNet::new(&BlockNetConfig::new(5, 3).with_hidden(8, 10, 12), seed)
+    }
+
+    fn features() -> Matrix {
+        Matrix::from_vec(6, 5, (0..30).map(|v| (v % 7) as f32 * 0.25 - 0.5).collect()).unwrap()
+    }
+
+    #[test]
+    fn cache_hit_returns_the_same_allocation() {
+        let cache = FeatureCache::new();
+        let m = model(1);
+        let x = features();
+        let a = cache.get_or_build(&m, FreezeLevel::Moderate, &x).unwrap();
+        let b = cache.get_or_build(&m, FreezeLevel::Moderate, &x).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*a, m.forward_frozen(FreezeLevel::Moderate, &x).unwrap());
+    }
+
+    #[test]
+    fn distinct_freeze_levels_cache_independently() {
+        let cache = FeatureCache::new();
+        let m = model(1);
+        let x = features();
+        let moderate = cache.get_or_build(&m, FreezeLevel::Moderate, &x).unwrap();
+        let classifier = cache.get_or_build(&m, FreezeLevel::Classifier, &x).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_ne!(moderate.shape(), classifier.shape());
+    }
+
+    #[test]
+    fn theta_updates_keep_the_cache_warm_but_a_new_backbone_evicts() {
+        let cache = FeatureCache::new();
+        let freeze = FreezeLevel::Moderate;
+        let x = features();
+        let mut m = model(1);
+        let a = cache.get_or_build(&m, freeze, &x).unwrap();
+
+        // Aggregation only writes θ; the frozen fingerprint is unchanged and
+        // the cache stays warm.
+        let theta = model(42).trainable_vector(freeze);
+        m.set_trainable_vector(freeze, &theta).unwrap();
+        let b = cache.get_or_build(&m, freeze, &x).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+
+        // A different backbone must rebuild, replacing the stale entry.
+        let other = model(2);
+        let c = cache.get_or_build(&other, freeze, &x).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 1, "stale entry evicted, not accumulated");
+        assert_eq!(*c, other.forward_frozen(freeze, &x).unwrap());
+    }
+
+    #[test]
+    fn a_different_feature_matrix_rebuilds_instead_of_hitting() {
+        let cache = FeatureCache::new();
+        let m = model(1);
+        let freeze = FreezeLevel::Moderate;
+        let a = cache.get_or_build(&m, freeze, &features()).unwrap();
+        // Same backbone, different data: must not serve ϕ(features_a).
+        let mut other = features();
+        other.set(0, 0, 42.0);
+        let b = cache.get_or_build(&m, freeze, &other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, m.forward_frozen(freeze, &other).unwrap());
+    }
+
+    #[test]
+    fn clones_share_storage_and_clear_empties() {
+        let cache = FeatureCache::new();
+        assert!(cache.is_empty());
+        let shared = cache.clone();
+        let m = model(1);
+        let x = features();
+        shared
+            .get_or_build(&m, FreezeLevel::Classifier, &x)
+            .unwrap();
+        assert_eq!(cache.len(), 1, "clones share the same storage");
+        cache.clear();
+        assert!(shared.is_empty());
+    }
+}

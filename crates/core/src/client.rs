@@ -1,12 +1,16 @@
 //! Client-side local update (paper Algorithm 1, lines 6–9).
 
+use crate::cache::FeatureCache;
 use crate::config::{FlConfig, LocalAlgorithm};
-use crate::Result;
+use crate::entropy::sample_entropies_from_boundary;
+use crate::selection::SelectionStrategy;
+use crate::{FlError, Result};
 use fedft_data::Dataset;
 use fedft_nn::{BlockNet, ParamVector, ProximalTerm, Sgd};
-use fedft_tensor::rng;
+use fedft_tensor::{rng, Matrix};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The result of one client's local round, uploaded to the server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,26 +26,45 @@ pub struct ClientUpdate {
     pub local_samples: usize,
     /// Mean local training loss over the final local epoch.
     pub train_loss: f32,
-    /// Simulated client compute time for this round, in seconds.
+    /// Simulated client compute time for this round, in seconds, under the
+    /// paper-faithful workload accounting (the frozen prefix runs on every
+    /// batch and selection pass, as on the paper's devices).
     pub compute_seconds: f64,
+    /// Simulated client compute time for this round under the **cached**
+    /// workload accounting: boundary activations served from a feature
+    /// cache, so only the trainable suffix runs (steady state; the one-time
+    /// cache build is amortised out — see
+    /// [`crate::CostModel::cached_client_round_seconds`]). Reported
+    /// unconditionally, whatever [`FlConfig::feature_cache`] says, so both
+    /// accountings are always available and histories stay independent of
+    /// the knob.
+    pub cached_compute_seconds: f64,
 }
 
 /// A federated client holding a private shard of data.
 ///
-/// A `Client` is stateless between rounds apart from its dataset: every round
-/// it downloads the current global trainable parameters, selects local data,
-/// fine-tunes and uploads the new parameters — matching the paper's setting
-/// where the momentum/optimiser state is not carried across rounds.
+/// A `Client` is stateless between rounds apart from its dataset and its
+/// [`FeatureCache`]: every round it downloads the current global trainable
+/// parameters, selects local data, fine-tunes and uploads the new parameters
+/// — matching the paper's setting where the momentum/optimiser state is not
+/// carried across rounds. The feature cache is pure memoisation of the
+/// (round-invariant) frozen-prefix activations, keyed by backbone
+/// fingerprint, so it never alters results; clones share it.
 #[derive(Debug, Clone)]
 pub struct Client {
     id: usize,
     data: Dataset,
+    cache: FeatureCache,
 }
 
 impl Client {
     /// Creates a client with the given id and private data shard.
     pub fn new(id: usize, data: Dataset) -> Self {
-        Client { id, data }
+        Client {
+            id,
+            data,
+            cache: FeatureCache::new(),
+        }
     }
 
     /// The client id.
@@ -59,11 +82,20 @@ impl Client {
         self.data.len()
     }
 
+    /// The client's frozen-feature cache (empty until a cached round runs).
+    pub fn feature_cache(&self) -> &FeatureCache {
+        &self.cache
+    }
+
     /// Runs one local round.
     ///
     /// `global_model` is the server's current global model (both the shared
-    /// frozen part `ϕ` and the trainable part `θ^t`); the client works on its
-    /// own copy. Returns the uploaded [`ClientUpdate`].
+    /// frozen part `ϕ` and the trainable part `θ^t`). The client never
+    /// clones the frozen backbone: `ϕ` is read through the shared reference
+    /// (and, with [`FlConfig::feature_cache`] on, through cached boundary
+    /// activations), while local training works on a private `O(|θ|)`
+    /// [`fedft_nn::SuffixNet`] snapshot of the trainable part. Returns the
+    /// uploaded [`ClientUpdate`].
     ///
     /// # Errors
     ///
@@ -75,61 +107,143 @@ impl Client {
         config: &FlConfig,
         round: usize,
     ) -> Result<ClientUpdate> {
-        let mut model = global_model.clone();
+        let freeze = config.freeze;
+        if self.data.is_empty() {
+            return Err(FlError::InvalidConfig {
+                what: format!("client {} has no local data to select from", self.id),
+            });
+        }
+        // At FreezeLevel::Full there is no frozen prefix: the boundary is
+        // the raw input, so caching it would only duplicate the dataset.
+        let use_cache = config.feature_cache && freeze.frozen_blocks() > 0;
+        let cached_boundary: Option<Arc<Matrix>> = if use_cache {
+            Some(
+                self.cache
+                    .get_or_build(global_model, freeze, self.data.features())?,
+            )
+        } else {
+            None
+        };
+
+        // The client's private trainable part θ — an O(|θ|) snapshot; the
+        // backbone ϕ stays shared behind `global_model`.
+        let mut suffix = global_model.trainable_suffix(freeze);
 
         // --- Data selection (Equations 2-3, hardened softmax Equation 6).
-        let selected_indices =
-            config
+        let selected_indices = match config.selection {
+            SelectionStrategy::Entropy { temperature, .. } => {
+                let entropies = match &cached_boundary {
+                    Some(boundary) => {
+                        sample_entropies_from_boundary(&mut suffix, boundary, temperature)?
+                    }
+                    // No frozen prefix: the boundary is the raw features —
+                    // score them directly instead of copying the dataset.
+                    None if freeze.frozen_blocks() == 0 => sample_entropies_from_boundary(
+                        &mut suffix,
+                        self.data.features(),
+                        temperature,
+                    )?,
+                    None => {
+                        let boundary = global_model.forward_frozen(freeze, self.data.features())?;
+                        sample_entropies_from_boundary(&mut suffix, &boundary, temperature)?
+                    }
+                };
+                config.selection.select_from_entropies(&entropies)?
+            }
+            _ => config
                 .selection
-                .select(&mut model, &self.data, round, self.id, config.seed)?;
-        let selected = self.data.subset(&selected_indices)?;
+                .select(self.data.len(), round, self.id, config.seed)?,
+        };
+        let selected_labels: Vec<usize> = selected_indices
+            .iter()
+            .map(|&i| self.data.labels()[i])
+            .collect();
 
         // --- Local fine-tuning of the trainable part θ (Equation 4).
         let mut optimizer = Sgd::new(config.sgd)?;
         if let LocalAlgorithm::FedProx { mu } = config.algorithm {
             optimizer.set_proximal(Some(ProximalTerm {
                 mu,
-                reference: model.trainable_vector(config.freeze),
+                reference: suffix.trainable_vector(),
             }));
         }
-        let mut order: Vec<usize> = (0..selected.len()).collect();
+        let mut order: Vec<usize> = (0..selected_indices.len()).collect();
         let mut train_loss = 0.0_f32;
+        // Buffers and the RNG stream name are hoisted out of the epoch/batch
+        // loops: the name only varies per (client, round), and the gathers
+        // reuse one allocation across batches.
+        let shuffle_stream = format!("client-{}-round-{round}-epoch", self.id);
+        let mut batch_rows: Vec<usize> = Vec::with_capacity(config.batch_size);
+        let mut batch_labels: Vec<usize> = Vec::with_capacity(config.batch_size);
+        let mut gather = Matrix::default();
         for epoch in 0..config.local_epochs {
-            let mut shuffle_rng = rng::rng_for_indexed(
-                config.seed,
-                &format!("client-{}-round-{round}-epoch", self.id),
-                epoch as u64,
-            );
+            let mut shuffle_rng = rng::rng_for_indexed(config.seed, &shuffle_stream, epoch as u64);
             order.shuffle(&mut shuffle_rng);
             let mut epoch_loss = 0.0_f32;
             let mut batches = 0usize;
             for chunk in order.chunks(config.batch_size) {
-                let batch_x = selected.features().select_rows(chunk);
-                let batch_y: Vec<usize> = chunk.iter().map(|&i| selected.labels()[i]).collect();
-                epoch_loss +=
-                    model.train_batch(&batch_x, &batch_y, &mut optimizer, config.freeze)?;
+                batch_rows.clear();
+                batch_rows.extend(chunk.iter().map(|&i| selected_indices[i]));
+                batch_labels.clear();
+                batch_labels.extend(chunk.iter().map(|&i| selected_labels[i]));
+                // Boundary activations for this batch: gathered from the
+                // cache, or recomputed through the shared frozen prefix.
+                // Both paths run the same kernels on the same per-row
+                // inputs, so the suffix sees bit-identical values.
+                let frozen_out: Matrix;
+                let boundary: &Matrix = match &cached_boundary {
+                    Some(all) => {
+                        all.select_rows_into(&batch_rows, &mut gather);
+                        &gather
+                    }
+                    None if freeze.frozen_blocks() == 0 => {
+                        self.data
+                            .features()
+                            .select_rows_into(&batch_rows, &mut gather);
+                        &gather
+                    }
+                    None => {
+                        self.data
+                            .features()
+                            .select_rows_into(&batch_rows, &mut gather);
+                        frozen_out = global_model.forward_frozen(freeze, &gather)?;
+                        &frozen_out
+                    }
+                };
+                epoch_loss += suffix.train_batch(boundary, &batch_labels, &mut optimizer)?;
                 batches += 1;
             }
             train_loss = epoch_loss / batches.max(1) as f32;
         }
 
-        // --- Cost accounting for the learning-efficiency metric.
-        let flops = model.flops_per_sample(config.freeze);
+        // --- Cost accounting for the learning-efficiency metric. Both
+        // workload accountings are deterministic functions of the same
+        // inputs, so they are identical whether the cache actually ran.
+        let flops = global_model.flops_per_sample(freeze);
+        let selection_pass = config.selection.needs_inference_pass();
         let compute_seconds = config.cost.client_round_seconds(
             &flops,
             self.data.len(),
-            selected.len(),
+            selected_indices.len(),
             config.local_epochs,
-            config.selection.needs_inference_pass(),
+            selection_pass,
+        );
+        let cached_compute_seconds = config.cost.cached_client_round_seconds(
+            &flops,
+            self.data.len(),
+            selected_indices.len(),
+            config.local_epochs,
+            selection_pass,
         );
 
         Ok(ClientUpdate {
             client_id: self.id,
-            theta: model.trainable_vector(config.freeze),
-            selected_samples: selected.len(),
+            theta: suffix.trainable_vector(),
+            selected_samples: selected_indices.len(),
             local_samples: self.data.len(),
             train_loss,
             compute_seconds,
+            cached_compute_seconds,
         })
     }
 }
@@ -235,6 +349,60 @@ mod tests {
         assert!(
             d_prox < d_avg,
             "strong proximal term must keep θ closer to the global model ({d_prox} vs {d_avg})"
+        );
+    }
+
+    #[test]
+    fn cached_local_update_is_bit_identical_to_uncached() {
+        let client = Client::new(0, client_dataset(40, 7));
+        let model = global_model();
+        for freeze in FreezeLevel::all() {
+            for selection in [
+                SelectionStrategy::All,
+                SelectionStrategy::Random { fraction: 0.3 },
+                SelectionStrategy::Entropy {
+                    fraction: 0.3,
+                    temperature: 0.1,
+                },
+            ] {
+                let base = quick_config().with_freeze(freeze).with_selection(selection);
+                let uncached = client.local_update(&model, &base, 0).unwrap();
+                let cached_cfg = base.clone().with_feature_cache(true);
+                // Run twice so both the cold (build) and warm (hit) paths
+                // are exercised.
+                let cold = client.local_update(&model, &cached_cfg, 0).unwrap();
+                let warm = client.local_update(&model, &cached_cfg, 0).unwrap();
+                assert_eq!(
+                    uncached,
+                    cold,
+                    "freeze {freeze}, {}",
+                    selection.short_name()
+                );
+                assert_eq!(
+                    uncached,
+                    warm,
+                    "freeze {freeze}, {}",
+                    selection.short_name()
+                );
+            }
+        }
+        assert!(!client.feature_cache().is_empty());
+    }
+
+    #[test]
+    fn both_workload_accountings_are_reported() {
+        let client = Client::new(0, client_dataset(30, 8));
+        let model = global_model();
+        // With a frozen prefix the cached accounting is strictly cheaper…
+        let update = client.local_update(&model, &quick_config(), 0).unwrap();
+        assert!(update.cached_compute_seconds < update.compute_seconds);
+        // …and at FreezeLevel::Full the two coincide (nothing is frozen).
+        let full = client
+            .local_update(&model, &quick_config().with_freeze(FreezeLevel::Full), 0)
+            .unwrap();
+        assert_eq!(
+            full.cached_compute_seconds.to_bits(),
+            full.compute_seconds.to_bits()
         );
     }
 

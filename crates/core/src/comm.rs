@@ -16,8 +16,9 @@ use serde::{Deserialize, Serialize};
 /// Bytes used to encode one `f32` parameter on the wire.
 const BYTES_PER_PARAM: usize = 4;
 /// Fixed per-message header bytes: client id (8), selected count (8), local
-/// count (8), train loss (4), compute seconds (8), payload length (8).
-const HEADER_BYTES: usize = 44;
+/// count (8), train loss (4), compute seconds (8), cached compute seconds
+/// (8), payload length (8).
+const HEADER_BYTES: usize = 52;
 
 /// Per-round communication volume for one client, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,7 +64,8 @@ pub fn traffic_ratio(model: &BlockNet, numerator: FreezeLevel, denominator: Free
 /// Compact little-endian wire encoding of a [`ClientUpdate`].
 ///
 /// Layout: `client_id (u64) | selected (u64) | local (u64) | train_loss (f32)
-/// | compute_seconds (f64) | theta_len (u64) | theta (f32 × len)`.
+/// | compute_seconds (f64) | cached_compute_seconds (f64) | theta_len (u64) |
+/// theta (f32 × len)`.
 pub fn encode_update(update: &ClientUpdate) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_BYTES + update.theta.len() * BYTES_PER_PARAM);
     out.extend_from_slice(&(update.client_id as u64).to_le_bytes());
@@ -71,6 +73,7 @@ pub fn encode_update(update: &ClientUpdate) -> Vec<u8> {
     out.extend_from_slice(&(update.local_samples as u64).to_le_bytes());
     out.extend_from_slice(&update.train_loss.to_le_bytes());
     out.extend_from_slice(&update.compute_seconds.to_le_bytes());
+    out.extend_from_slice(&update.cached_compute_seconds.to_le_bytes());
     out.extend_from_slice(&(update.theta.len() as u64).to_le_bytes());
     for value in update.theta.values() {
         out.extend_from_slice(&value.to_le_bytes());
@@ -108,6 +111,8 @@ pub fn decode_update(bytes: &[u8]) -> Result<ClientUpdate> {
         u64::from_le_bytes(take(8)?.try_into().expect("slice length checked")) as usize;
     let train_loss = f32::from_le_bytes(take(4)?.try_into().expect("slice length checked"));
     let compute_seconds = f64::from_le_bytes(take(8)?.try_into().expect("slice length checked"));
+    let cached_compute_seconds =
+        f64::from_le_bytes(take(8)?.try_into().expect("slice length checked"));
     let theta_len = u64::from_le_bytes(take(8)?.try_into().expect("slice length checked")) as usize;
     let payload = take(theta_len * BYTES_PER_PARAM)?;
     if cursor != bytes.len() {
@@ -129,6 +134,7 @@ pub fn decode_update(bytes: &[u8]) -> Result<ClientUpdate> {
         local_samples,
         train_loss,
         compute_seconds,
+        cached_compute_seconds,
     })
 }
 
@@ -149,6 +155,7 @@ mod tests {
             local_samples: 120,
             train_loss: 0.75,
             compute_seconds: 1.5,
+            cached_compute_seconds: 0.5,
         }
     }
 

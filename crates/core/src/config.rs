@@ -70,6 +70,19 @@ pub struct FlConfig {
     /// [`ExecutionBackend::Deadline`]; `f64::INFINITY` (the default)
     /// disables deadline drops.
     pub deadline_seconds: f64,
+    /// Serve frozen-prefix boundary activations from a per-client
+    /// [`crate::cache::FeatureCache`] instead of re-running the frozen
+    /// blocks on every batch, epoch, round and selection pass.
+    ///
+    /// The cache is a *simulator* optimisation: run histories are
+    /// bit-identical with the knob on or off (same kernels on the same
+    /// inputs — pinned by `tests/feature_cache_e2e.rs`), and the simulated
+    /// cost accounting always reports both the paper-faithful and the
+    /// cached workload regardless of this setting. Off by default so the
+    /// executed work mirrors the paper's device workload; turn it on to
+    /// scale the client pool. Has no effect at [`FreezeLevel::Full`]
+    /// (there is no frozen prefix to cache).
+    pub feature_cache: bool,
     /// Master seed controlling every stochastic component of the run.
     pub seed: u64,
     /// How client updates are executed each round. `Sequential` and
@@ -95,6 +108,7 @@ impl Default for FlConfig {
             cost: CostModel::default(),
             heterogeneity: HeterogeneityModel::uniform(),
             deadline_seconds: f64::INFINITY,
+            feature_cache: false,
             seed: 0,
             execution: ExecutionBackend::Parallel,
         }
@@ -160,6 +174,12 @@ impl FlConfig {
     /// (`f64::INFINITY` disables deadline drops).
     pub fn with_deadline(mut self, deadline_seconds: f64) -> Self {
         self.deadline_seconds = deadline_seconds;
+        self
+    }
+
+    /// Enables or disables the per-client frozen-feature cache.
+    pub fn with_feature_cache(mut self, enabled: bool) -> Self {
+        self.feature_cache = enabled;
         self
     }
 
@@ -360,6 +380,15 @@ mod tests {
             .with_deadline(f64::INFINITY)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn feature_cache_knob_applies_and_defaults_off() {
+        let c = FlConfig::default();
+        assert!(!c.feature_cache, "paper-faithful workload by default");
+        let c = FlConfig::default().with_feature_cache(true);
+        assert!(c.feature_cache);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

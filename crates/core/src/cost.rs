@@ -97,6 +97,48 @@ impl CostModel {
         (training_flops + selection_flops) / self.device_flops_per_second
             + self.per_round_overhead_seconds
     }
+
+    /// Simulated seconds for one client's local round under the **cached**
+    /// workload accounting: boundary activations of the frozen prefix are
+    /// served from a [`crate::cache::FeatureCache`], so both the training
+    /// steps and the selection pass run only the trainable suffix.
+    ///
+    /// This is the steady-state cost — the one-time cache build (one frozen
+    /// forward pass over the local dataset,
+    /// [`FlopsBreakdown::cache_build_flops`] per sample) amortises towards
+    /// zero across rounds and is deliberately excluded so the accounting is
+    /// round-invariant and independent of participation history. Use
+    /// [`CostModel::cache_build_seconds`] to price the build itself.
+    ///
+    /// Parameters mirror [`CostModel::client_round_seconds`], which prices
+    /// the paper-faithful workload; at `FreezeLevel::Full` (no frozen
+    /// prefix) the two accountings coincide.
+    pub fn cached_client_round_seconds(
+        &self,
+        flops: &FlopsBreakdown,
+        local_samples: usize,
+        selected_samples: usize,
+        epochs: usize,
+        selection_pass: bool,
+    ) -> f64 {
+        let training_flops =
+            flops.cached_training_flops() as f64 * selected_samples as f64 * epochs as f64;
+        let selection_flops = if selection_pass {
+            flops.cached_inference_flops() as f64 * local_samples as f64
+        } else {
+            0.0
+        };
+        (training_flops + selection_flops) / self.device_flops_per_second
+            + self.per_round_overhead_seconds
+    }
+
+    /// Simulated seconds of the one-time feature-cache build for a client
+    /// with `local_samples` samples: one forward pass through the frozen
+    /// prefix over the full local dataset. Equal to the marginal cost of a
+    /// single uncached entropy-selection pass through the frozen part.
+    pub fn cache_build_seconds(&self, flops: &FlopsBreakdown, local_samples: usize) -> f64 {
+        flops.cache_build_flops() as f64 * local_samples as f64 / self.device_flops_per_second
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +267,36 @@ mod tests {
             "freezing more blocks must strictly reduce cost: {times:?}"
         );
         assert!(times.iter().all(|&t| t > cost.per_round_overhead_seconds));
+    }
+
+    #[test]
+    fn cached_accounting_is_cheaper_when_a_prefix_is_frozen() {
+        let cost = CostModel::default();
+        let paper = cost.client_round_seconds(&flops(), 100, 50, 5, true);
+        let cached = cost.cached_client_round_seconds(&flops(), 100, 50, 5, true);
+        assert!(cached < paper);
+        // The saving is exactly the frozen forward work that no longer runs.
+        let saved = (flops().cache_build_flops() as f64 * (50.0 * 5.0 + 100.0))
+            / cost.device_flops_per_second;
+        assert!((paper - cached - saved).abs() < 1e-9);
+        // Without a frozen prefix the two accountings coincide.
+        let full = FlopsBreakdown {
+            forward_frozen: 0,
+            forward_trainable: 1_500,
+            backward_trainable: 3_000,
+        };
+        let a = cost.client_round_seconds(&full, 100, 50, 5, true);
+        let b = cost.cached_client_round_seconds(&full, 100, 50, 5, true);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn cache_build_prices_one_frozen_pass_over_the_local_data() {
+        let cost = CostModel::default();
+        let t = cost.cache_build_seconds(&flops(), 200);
+        let expected = 1_000.0 * 200.0 / cost.device_flops_per_second;
+        assert!((t - expected).abs() < 1e-12);
+        assert_eq!(cost.cache_build_seconds(&flops(), 0), 0.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! most valuable to train on.
 
 use crate::{FlError, Result};
-use fedft_nn::BlockNet;
+use fedft_nn::{BlockNet, SuffixNet};
 use fedft_tensor::{stats, Matrix};
 
 /// Default hardened-softmax temperature used by the paper (ρ = 0.1).
@@ -26,6 +26,36 @@ pub fn sample_entropies(
     features: &Matrix,
     temperature: f32,
 ) -> Result<Vec<f32>> {
+    validate_entropy_inputs(features, temperature)?;
+    let probabilities = model.predict_proba(features, temperature)?;
+    Ok(stats::row_entropies(&probabilities))
+}
+
+/// Computes per-sample entropies from **precomputed boundary activations**:
+/// only the trainable suffix runs, skipping the frozen prefix entirely.
+///
+/// `boundary` must be the output of
+/// [`fedft_nn::BlockNet::forward_frozen`] (or a cached copy of it) on the
+/// samples to score, under the freeze level the suffix was split at. The
+/// resulting entropies are bit-identical to [`sample_entropies`] on the raw
+/// features — the suffix runs the same kernels on the same intermediate
+/// values — which is what makes cached entropy selection safe.
+///
+/// # Errors
+///
+/// Returns an error when the boundary matrix is empty, the temperature is
+/// not a positive finite number, or shapes mismatch.
+pub fn sample_entropies_from_boundary(
+    suffix: &mut SuffixNet,
+    boundary: &Matrix,
+    temperature: f32,
+) -> Result<Vec<f32>> {
+    validate_entropy_inputs(boundary, temperature)?;
+    let probabilities = suffix.predict_proba(boundary, temperature)?;
+    Ok(stats::row_entropies(&probabilities))
+}
+
+fn validate_entropy_inputs(features: &Matrix, temperature: f32) -> Result<()> {
     if features.rows() == 0 {
         return Err(FlError::InvalidConfig {
             what: "cannot compute entropies of an empty feature matrix".into(),
@@ -36,8 +66,7 @@ pub fn sample_entropies(
             what: format!("softmax temperature must be positive, got {temperature}"),
         });
     }
-    let probabilities = model.predict_proba(features, temperature)?;
-    Ok(stats::row_entropies(&probabilities))
+    Ok(())
 }
 
 /// Returns the indices of `entropies` sorted by decreasing entropy
@@ -200,6 +229,65 @@ mod tests {
     fn histogram_validation() {
         assert!(EntropyHistogram::from_entropies(&[0.1], 5, 0).is_err());
         assert!(EntropyHistogram::from_entropies(&[0.1], 1, 4).is_err());
+    }
+
+    #[test]
+    fn boundary_entropies_are_bit_identical_to_full_forward() {
+        use fedft_nn::FreezeLevel;
+        let mut m = model();
+        let x = random_features(40, 8, 4);
+        let full = sample_entropies(&mut m, &x, 0.1).unwrap();
+        for freeze in FreezeLevel::all() {
+            let boundary = m.forward_frozen(freeze, &x).unwrap();
+            let mut suffix = m.trainable_suffix(freeze);
+            let cached = sample_entropies_from_boundary(&mut suffix, &boundary, 0.1).unwrap();
+            let as_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(as_bits(&full), as_bits(&cached), "freeze {freeze}");
+        }
+        // The boundary path validates its inputs like the full path does.
+        let mut suffix = m.trainable_suffix(FreezeLevel::Moderate);
+        assert!(sample_entropies_from_boundary(&mut suffix, &Matrix::zeros(0, 12), 0.1).is_err());
+        let boundary = m.forward_frozen(FreezeLevel::Moderate, &x).unwrap();
+        assert!(sample_entropies_from_boundary(&mut suffix, &boundary, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_class_predictions_have_zero_entropy_everywhere() {
+        // A one-class model's softmax output is identically 1, so every
+        // sample's entropy is exactly zero and the ranking degenerates to
+        // the original index order.
+        let mut m = BlockNet::new(&BlockNetConfig::new(8, 1).with_hidden(12, 12, 12), 3);
+        let x = random_features(25, 8, 5);
+        let h = sample_entropies(&mut m, &x, 0.1).unwrap();
+        assert_eq!(h.len(), 25);
+        assert!(h.iter().all(|&v| v == 0.0), "entropies {h:?}");
+        assert_eq!(rank_by_entropy(&h), (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exact_entropy_ties_rank_in_deterministic_index_order() {
+        // All-equal entropies: the ranking must be the identity permutation.
+        let tied = vec![0.75_f32; 6];
+        assert_eq!(rank_by_entropy(&tied), vec![0, 1, 2, 3, 4, 5]);
+        // Mixed values with an exact three-way tie: tied indices stay in
+        // ascending order between the strictly larger and smaller values.
+        let mixed = vec![0.5, 0.9, 0.5, 1.2, 0.5, 0.1];
+        assert_eq!(rank_by_entropy(&mixed), vec![3, 1, 0, 2, 4, 5]);
+        // NaN entropies compare as equal (no panic) and fall back to index
+        // order within their run.
+        let with_nan = vec![f32::NAN, f32::NAN];
+        assert_eq!(rank_by_entropy(&with_nan), vec![0, 1]);
+    }
+
+    #[test]
+    fn histogram_with_a_single_bin_collects_everything() {
+        let entropies = vec![0.0, 0.3, 1.0, 1.55, 1.7];
+        let hist = EntropyHistogram::from_entropies(&entropies, 5, 1).unwrap();
+        assert_eq!(hist.counts, vec![5]);
+        assert_eq!(hist.min, 0.0);
+        assert!((hist.max - (5.0_f32).ln()).abs() < 1e-6);
+        // With one bin the whole distribution is the "tail".
+        assert!((hist.high_entropy_fraction(1) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -35,12 +35,20 @@
 //!
 //! The backend is selected by the [`ExecutionBackend`] knob on
 //! [`FlConfig`]; simulation code only sees the trait.
+//!
+//! Every backend passes the [`FlConfig`] through to the clients untouched,
+//! so the [`FlConfig::feature_cache`] knob behaves identically under each:
+//! a client's [`crate::cache::FeatureCache`] is keyed by the frozen
+//! backbone's fingerprint, which is invariant across rounds *and* across
+//! the async backend's model versions (only `θ` differs), so cached rounds
+//! replay uncached histories bit for bit on all four executors — pinned by
+//! `tests/feature_cache_e2e.rs`.
 
 use crate::client::{Client, ClientUpdate};
 use crate::config::FlConfig;
 use crate::device::{DeviceProfile, HeterogeneityModel};
 use crate::{FlError, Result};
-use fedft_nn::BlockNet;
+use fedft_nn::{BlockNet, ParamVector};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -483,16 +491,20 @@ impl RoundExecutor for DeadlineExecutor {
 ///
 /// Version `v` is the global model after `v` aggregations; `version_open[v]`
 /// is the simulated time at which it became available (`version_open[0] =
-/// 0.0`). The executor keeps a snapshot of every version still inside the
-/// staleness window so stale dispatches can train against the exact model
-/// they downloaded.
+/// 0.0`). The executor keeps a **θ snapshot** of every version still inside
+/// the staleness window so stale dispatches can train against the exact
+/// parameters they downloaded: because only the trainable part is ever
+/// aggregated, the frozen backbone `ϕ` is identical across versions and a
+/// stale model is reconstructed as (current backbone, snapshotted θ) — an
+/// `O(|θ|)` snapshot per version instead of a full `O(|ϕ| + |θ|)` model
+/// clone, mirroring what a real client downloads.
 #[derive(Debug, Default)]
 struct AsyncClock {
     /// Simulated opening time of every global-model version so far.
     version_open: Vec<f64>,
-    /// Retained `(version, model)` snapshots, ascending by version; only
+    /// Retained `(version, θ)` snapshots, ascending by version; only
     /// versions within the staleness window of the current round are kept.
-    history: Vec<(usize, BlockNet)>,
+    history: Vec<(usize, ParamVector)>,
     /// Absolute simulated time until which each client's device is busy
     /// training a previously dispatched round.
     busy_until: HashMap<usize, f64>,
@@ -540,8 +552,12 @@ struct AsyncClock {
 ///
 /// `run_round` must be called once per round, in round order, with the
 /// aggregated global model of the previous rounds — the order
-/// [`crate::Simulation`] guarantees. Calling round 0 resets the clock, so
-/// one executor can serve consecutive runs.
+/// [`crate::Simulation`] guarantees. Successive models may differ only in
+/// their trainable part `θ` (which is all the server ever aggregates): the
+/// executor snapshots `θ` per version and reconstructs stale models against
+/// the current frozen backbone, exactly as a real client would combine its
+/// preinstalled backbone with a downloaded `θ`. Calling round 0 resets the
+/// clock, so one executor can serve consecutive runs.
 #[derive(Debug)]
 pub struct AsyncExecutor {
     max_staleness: usize,
@@ -614,15 +630,20 @@ impl RoundExecutor for AsyncExecutor {
         }
         let round_open = clock.version_open[round];
         // Retain only the versions a round ≥ `round` may still dispatch
-        // against, then snapshot this round's model as version `round` —
-        // except at max_staleness = 0, where no later round can ever read
-        // the snapshot (the current version is always `global_model`), so
-        // the per-round model clone is skipped entirely.
+        // against, then snapshot this round's θ as version `round` — except
+        // at max_staleness = 0, where no later round can ever read the
+        // snapshot (the current version is always `global_model`), so the
+        // per-round snapshot is skipped entirely. Only θ is stored: the
+        // frozen backbone never changes between versions (the server
+        // aggregates the trainable part alone), so a stale model is the
+        // current backbone plus the snapshotted θ.
         clock
             .history
             .retain(|(v, _)| v + self.max_staleness >= round);
         if self.max_staleness > 0 {
-            clock.history.push((round, global_model.clone()));
+            clock
+                .history
+                .push((round, global_model.trainable_vector(config.freeze)));
         }
 
         let hetero = &config.heterogeneity;
@@ -687,6 +708,9 @@ impl RoundExecutor for AsyncExecutor {
         let mut versions: Vec<usize> = dispatches.iter().map(|d| d.version).collect();
         versions.sort_unstable();
         versions.dedup();
+        // One scratch model serves every stale version: cloned lazily on the
+        // first stale group, then only its θ is rewritten per version.
+        let mut stale_scratch: Option<BlockNet> = None;
         for v in versions {
             let positions: Vec<usize> = dispatches
                 .iter()
@@ -696,16 +720,20 @@ impl RoundExecutor for AsyncExecutor {
                 .collect();
             let group: Vec<&Client> = positions.iter().map(|&i| dispatches[i].client).collect();
             // The current version is the model the caller just passed in;
-            // only genuinely stale dispatches read a snapshot.
+            // only genuinely stale dispatches reconstruct one from the
+            // shared backbone and the version's θ snapshot.
             let model: &BlockNet = if v == round {
                 global_model
             } else {
-                &clock
+                let theta = &clock
                     .history
                     .iter()
                     .find(|(hv, _)| *hv == v)
                     .expect("dispatched version is inside the retained window")
-                    .1
+                    .1;
+                let scratch = stale_scratch.get_or_insert_with(|| global_model.clone());
+                scratch.set_trainable_vector(config.freeze, theta)?;
+                scratch
             };
             let outcome = self.inner.run_round(&group, model, config, round)?;
             debug_assert_eq!(outcome.updates.len(), group.len());

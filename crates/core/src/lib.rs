@@ -65,6 +65,7 @@
 mod error;
 
 pub mod baseline;
+pub mod cache;
 pub mod client;
 pub mod comm;
 pub mod config;
@@ -80,6 +81,7 @@ pub mod selection;
 pub mod server;
 pub mod simulation;
 
+pub use cache::FeatureCache;
 pub use client::{Client, ClientUpdate};
 pub use config::{FlConfig, LocalAlgorithm};
 pub use cost::CostModel;

@@ -31,11 +31,23 @@ pub struct RoundRecord {
     pub update_staleness: Vec<usize>,
     /// Simulated client compute seconds spent in this round (summed over
     /// participants), on the nominal device — the paper's learning-
-    /// efficiency denominator.
+    /// efficiency denominator, under the paper-faithful workload accounting
+    /// (frozen prefix recomputed every batch and selection pass).
     pub round_client_seconds: f64,
     /// Cumulative simulated client compute seconds up to and including this
     /// round.
     pub cumulative_client_seconds: f64,
+    /// Simulated client compute seconds of this round under the **cached**
+    /// workload accounting: frozen-prefix activations served from a feature
+    /// cache, so only the trainable suffix runs (steady state). Recorded
+    /// unconditionally — it is a deterministic function of the same inputs
+    /// as [`RoundRecord::round_client_seconds`], so histories stay
+    /// bit-identical whichever way [`crate::FlConfig::feature_cache`] is
+    /// set.
+    pub round_client_seconds_cached: f64,
+    /// Cumulative cached-accounting client seconds up to and including this
+    /// round.
+    pub cumulative_client_seconds_cached: f64,
     /// Simulated wall-clock duration of this synchronous round: the slowest
     /// surviving client's device-adjusted compute + transfer time, or the
     /// deadline when a sampled client missed it.
@@ -81,6 +93,15 @@ impl RunResult {
         self.rounds
             .last()
             .map_or(0.0, |r| r.cumulative_client_seconds)
+    }
+
+    /// Total simulated client compute seconds over the whole run under the
+    /// cached workload accounting (see
+    /// [`RoundRecord::round_client_seconds_cached`]).
+    pub fn total_client_seconds_cached(&self) -> f64 {
+        self.rounds
+            .last()
+            .map_or(0.0, |r| r.cumulative_client_seconds_cached)
     }
 
     /// Total simulated wall-clock seconds over the whole run (the virtual
@@ -169,6 +190,19 @@ impl RunResult {
         f64::from(self.best_accuracy()) * 100.0 / seconds
     }
 
+    /// The learning-efficiency metric under the cached workload accounting:
+    /// best test accuracy (percentage points) divided by the cached total
+    /// client seconds. Compares against [`RunResult::learning_efficiency`]
+    /// to quantify what serving the frozen prefix from a feature cache
+    /// would buy on-device. Returns `0.0` when no time was spent.
+    pub fn cached_learning_efficiency(&self) -> f64 {
+        let seconds = self.total_client_seconds_cached();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        f64::from(self.best_accuracy()) * 100.0 / seconds
+    }
+
     /// The test-accuracy learning curve, one entry per round.
     pub fn accuracy_curve(&self) -> Vec<f32> {
         self.rounds.iter().map(|r| r.test_accuracy).collect()
@@ -213,6 +247,8 @@ mod tests {
             update_staleness: vec![0, 1, 2, 0, 0, 0, 0, 0, 0, 0],
             round_client_seconds: 1.0,
             cumulative_client_seconds: cumulative,
+            round_client_seconds_cached: 0.5,
+            cumulative_client_seconds_cached: cumulative / 2.0,
             round_wall_seconds: 5.0,
             cumulative_wall_seconds: 5.0 * round as f64,
         }
@@ -244,6 +280,18 @@ mod tests {
         let r = run();
         // 60 accuracy points over 30 seconds.
         assert!((r.learning_efficiency() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_accounting_has_its_own_totals_and_efficiency() {
+        let r = run();
+        assert_eq!(r.total_client_seconds_cached(), 15.0);
+        // 60 accuracy points over 15 cached seconds.
+        assert!((r.cached_learning_efficiency() - 4.0).abs() < 1e-6);
+        assert!(r.cached_learning_efficiency() > r.learning_efficiency());
+        let empty = RunResult::new("empty", vec![]);
+        assert_eq!(empty.total_client_seconds_cached(), 0.0);
+        assert_eq!(empty.cached_learning_efficiency(), 0.0);
     }
 
     #[test]

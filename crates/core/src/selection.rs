@@ -1,9 +1,7 @@
 //! Per-round local data selection strategies (paper §III-C and §IV-A3).
 
-use crate::entropy::{rank_by_entropy, sample_entropies};
+use crate::entropy::rank_by_entropy;
 use crate::{FlError, Result};
-use fedft_data::Dataset;
-use fedft_nn::BlockNet;
 use fedft_tensor::rng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -86,49 +84,88 @@ impl SelectionStrategy {
         Ok(())
     }
 
-    /// Selects the indices of the local samples to train on this round.
+    /// Selects the indices of the local samples to train on this round, for
+    /// the strategies that need **no model access** ([`SelectionStrategy::
+    /// All`] and [`SelectionStrategy::Random`]).
     ///
-    /// The number of selected samples is `ceil(fraction · |D_k|)`, clamped to
-    /// at least one sample. Entropy selection uses the *current* client model
-    /// (freshly downloaded global model), so the selected subset changes
-    /// between rounds as the model evolves — matching the paper's dynamic
-    /// selection setup.
+    /// The number of selected samples is `ceil(fraction · |D_k|)`, clamped
+    /// to at least one sample. Entropy selection scores samples with the
+    /// current model and therefore goes through
+    /// [`SelectionStrategy::select_from_entropies`] instead; calling
+    /// `select` on it is an error rather than a silent fallback.
     ///
     /// # Errors
     ///
-    /// Returns an error for an empty dataset or invalid parameters.
+    /// Returns an error for an empty dataset, invalid parameters, or an
+    /// entropy strategy.
     pub fn select(
         &self,
-        model: &mut BlockNet,
-        dataset: &Dataset,
+        num_samples: usize,
         round: usize,
         client_id: usize,
         seed: u64,
     ) -> Result<Vec<usize>> {
         self.validate()?;
-        if dataset.is_empty() {
+        if num_samples == 0 {
             return Err(FlError::InvalidConfig {
                 what: format!("client {client_id} has no local data to select from"),
             });
         }
-        let keep = self.selected_count(dataset.len());
+        let keep = self.selected_count(num_samples);
         match self {
-            SelectionStrategy::All => Ok((0..dataset.len()).collect()),
+            SelectionStrategy::All => Ok((0..num_samples).collect()),
             SelectionStrategy::Random { .. } => {
-                let mut order: Vec<usize> = (0..dataset.len()).collect();
+                let mut order: Vec<usize> = (0..num_samples).collect();
                 let mut r =
                     rng::rng_for_indexed(seed, &format!("rds-client-{client_id}"), round as u64);
                 order.shuffle(&mut r);
                 order.truncate(keep);
                 Ok(order)
             }
-            SelectionStrategy::Entropy { temperature, .. } => {
-                let entropies = sample_entropies(model, dataset.features(), *temperature)?;
-                let mut ranked = rank_by_entropy(&entropies);
-                ranked.truncate(keep);
-                Ok(ranked)
-            }
+            SelectionStrategy::Entropy { .. } => Err(FlError::InvalidConfig {
+                what: "entropy selection needs per-sample entropies; compute them \
+                       (crate::entropy) and call select_from_entropies"
+                    .into(),
+            }),
         }
+    }
+
+    /// Selects the indices of the local samples to train on this round from
+    /// **precomputed per-sample entropies** ([`SelectionStrategy::Entropy`]
+    /// only): the top `ceil(fraction · |D_k|)` most-uncertain samples, ties
+    /// broken by index.
+    ///
+    /// The entropies come from the current (freshly downloaded) model, so
+    /// the selected subset changes between rounds as the model evolves —
+    /// matching the paper's dynamic selection setup. How they are computed
+    /// is the caller's choice: a full forward pass
+    /// ([`crate::entropy::sample_entropies`]) or the trainable suffix over
+    /// cached boundary features
+    /// ([`crate::entropy::sample_entropies_from_boundary`]) — both produce
+    /// identical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty entropy slice, invalid parameters, or a
+    /// non-entropy strategy.
+    pub fn select_from_entropies(&self, entropies: &[f32]) -> Result<Vec<usize>> {
+        self.validate()?;
+        if !matches!(self, SelectionStrategy::Entropy { .. }) {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "select_from_entropies only applies to entropy selection, not `{}`",
+                    self.short_name()
+                ),
+            });
+        }
+        if entropies.is_empty() {
+            return Err(FlError::InvalidConfig {
+                what: "cannot select from an empty entropy slice".into(),
+            });
+        }
+        let mut ranked = rank_by_entropy(entropies);
+        ranked.truncate(self.selected_count(entropies.len()));
+        Ok(ranked)
     }
 
     /// Number of samples the strategy keeps out of `available`.
@@ -144,7 +181,9 @@ impl SelectionStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedft_nn::BlockNetConfig;
+    use crate::entropy::sample_entropies;
+    use fedft_data::Dataset;
+    use fedft_nn::{BlockNet, BlockNetConfig};
     use fedft_tensor::Matrix;
 
     fn model(classes: usize) -> BlockNet {
@@ -219,20 +258,16 @@ mod tests {
 
     #[test]
     fn all_selection_returns_every_index() {
-        let mut m = model(3);
-        let d = dataset(6);
-        let idx = SelectionStrategy::All.select(&mut m, &d, 0, 0, 0).unwrap();
+        let idx = SelectionStrategy::All.select(6, 0, 0, 0).unwrap();
         assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
     fn random_selection_is_per_round_and_deterministic() {
-        let mut m = model(3);
-        let d = dataset(20);
         let s = SelectionStrategy::Random { fraction: 0.5 };
-        let a = s.select(&mut m, &d, 0, 3, 7).unwrap();
-        let b = s.select(&mut m, &d, 0, 3, 7).unwrap();
-        let c = s.select(&mut m, &d, 1, 3, 7).unwrap();
+        let a = s.select(20, 0, 3, 7).unwrap();
+        let b = s.select(20, 0, 3, 7).unwrap();
+        let c = s.select(20, 1, 3, 7).unwrap();
         assert_eq!(a, b, "same round and seed must select the same subset");
         assert_ne!(a, c, "different rounds must resample");
         assert_eq!(a.len(), 10);
@@ -252,9 +287,9 @@ mod tests {
             fraction: 0.2,
             temperature: 0.5,
         };
-        let selected = s.select(&mut m, &d, 0, 0, 0).unwrap();
-        assert_eq!(selected.len(), 6);
         let entropies = sample_entropies(&mut m, d.features(), 0.5).unwrap();
+        let selected = s.select_from_entropies(&entropies).unwrap();
+        assert_eq!(selected.len(), 6);
         let min_selected = selected
             .iter()
             .map(|&i| entropies[i])
@@ -277,18 +312,38 @@ mod tests {
             fraction: 0.4,
             temperature: 0.1,
         };
+        let entropies = sample_entropies(&mut m, d.features(), 0.1).unwrap();
         assert_eq!(
-            s.select(&mut m, &d, 2, 1, 9).unwrap(),
-            s.select(&mut m, &d, 2, 1, 9).unwrap()
+            s.select_from_entropies(&entropies).unwrap(),
+            s.select_from_entropies(&entropies).unwrap()
         );
     }
 
     #[test]
     fn selection_on_empty_dataset_errors() {
-        let mut m = model(3);
-        let empty = Dataset::empty(4, 3);
+        assert!(SelectionStrategy::All.select(0, 0, 0, 0).is_err());
+        let s = SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1,
+        };
+        assert!(s.select_from_entropies(&[]).is_err());
+    }
+
+    #[test]
+    fn strategies_reject_the_wrong_selection_path() {
+        // Entropy selection must not silently fall back to "all" when asked
+        // for a model-free selection…
+        let eds = SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1,
+        };
+        assert!(eds.select(10, 0, 0, 0).is_err());
+        // …and non-inference strategies must not rank entropies.
         assert!(SelectionStrategy::All
-            .select(&mut m, &empty, 0, 0, 0)
+            .select_from_entropies(&[0.1])
+            .is_err());
+        assert!(SelectionStrategy::Random { fraction: 0.5 }
+            .select_from_entropies(&[0.1])
             .is_err());
     }
 }

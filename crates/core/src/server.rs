@@ -156,6 +156,7 @@ mod tests {
             local_samples: selected * 2,
             train_loss: 0.5,
             compute_seconds: 1.0,
+            cached_compute_seconds: 0.5,
         }
     }
 

@@ -84,6 +84,7 @@ impl Simulation {
         let mut global_model = initial_model.clone();
         let mut rounds = Vec::with_capacity(self.config.rounds);
         let mut cumulative_seconds = 0.0_f64;
+        let mut cumulative_seconds_cached = 0.0_f64;
         let mut cumulative_wall = 0.0_f64;
         let hetero = &self.config.heterogeneity;
         // The trainable parameter count is fixed by the architecture and
@@ -121,6 +122,9 @@ impl Simulation {
                 global_model.evaluate_loss(data.test().features(), data.test().labels())?;
             let round_client_seconds: f64 = updates.iter().map(|u| u.compute_seconds).sum();
             cumulative_seconds += round_client_seconds;
+            let round_client_seconds_cached: f64 =
+                updates.iter().map(|u| u.cached_compute_seconds).sum();
+            cumulative_seconds_cached += round_client_seconds_cached;
             let mean_train_loss =
                 updates.iter().map(|u| u.train_loss).sum::<f32>() / updates.len().max(1) as f32;
             let selected_samples = updates.iter().map(|u| u.selected_samples).sum();
@@ -169,6 +173,8 @@ impl Simulation {
                 update_staleness,
                 round_client_seconds,
                 cumulative_client_seconds: cumulative_seconds,
+                round_client_seconds_cached,
+                cumulative_client_seconds_cached: cumulative_seconds_cached,
                 round_wall_seconds,
                 cumulative_wall_seconds: cumulative_wall,
             });

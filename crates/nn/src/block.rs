@@ -7,6 +7,7 @@ use crate::loss::SoftmaxCrossEntropy;
 use crate::optimizer::Sgd;
 use crate::params::ParamVector;
 use crate::sequential::Sequential;
+use crate::suffix::{self, SuffixNet};
 use crate::{NnError, Result};
 use fedft_tensor::{stats, Matrix};
 use serde::{Deserialize, Serialize};
@@ -267,11 +268,56 @@ impl BlockNet {
         self.loss.loss(&logits, labels)
     }
 
+    /// Inference forward pass through the **frozen prefix** only, producing
+    /// the boundary activations the trainable suffix consumes.
+    ///
+    /// Works through a shared reference (frozen blocks are never
+    /// back-propagated through, so no activation caching is needed), which
+    /// is what lets one global model serve every client's frozen pass
+    /// concurrently. At [`FreezeLevel::Full`] there is no frozen prefix and
+    /// the input is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input width differs from
+    /// [`BlockNet::input_dim`].
+    pub fn forward_frozen(&self, freeze: FreezeLevel, input: &Matrix) -> Result<Matrix> {
+        let mut current = input.clone();
+        for block in &self.blocks[..freeze.frozen_blocks()] {
+            current = block.forward_frozen(&current)?;
+        }
+        Ok(current)
+    }
+
+    /// Forward pass through the **trainable suffix**, starting from boundary
+    /// activations produced by [`BlockNet::forward_frozen`] (or a cached
+    /// copy of them).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the boundary width does not match the first
+    /// trainable block.
+    pub fn forward_trainable(
+        &mut self,
+        freeze: FreezeLevel,
+        boundary: &Matrix,
+        training: bool,
+    ) -> Result<Matrix> {
+        suffix::forward_blocks(
+            &mut self.blocks[freeze.frozen_blocks()..],
+            boundary,
+            training,
+        )
+    }
+
     /// Performs one training step on a batch and returns the batch loss.
     ///
     /// The backward pass stops at the freeze boundary: gradients never flow
     /// into frozen blocks, mirroring the compute saving of partial
-    /// fine-tuning.
+    /// fine-tuning. Implemented as [`BlockNet::forward_frozen`] followed by
+    /// [`BlockNet::train_batch_cached`], so training from raw features and
+    /// training from (identically computed) cached boundary activations are
+    /// the same code path and bit-identical.
     ///
     /// # Errors
     ///
@@ -284,28 +330,68 @@ impl BlockNet {
         optimizer: &mut Sgd,
         freeze: FreezeLevel,
     ) -> Result<f32> {
-        let logits = self.forward_training(input)?;
-        let (loss_value, mut grad) = self.loss.forward_backward(&logits, labels)?;
+        let boundary = self.forward_frozen(freeze, input)?;
+        self.train_batch_cached(&boundary, labels, optimizer, freeze)
+    }
 
-        let first_trainable = freeze.frozen_blocks();
-        for block in &mut self.blocks[first_trainable..] {
-            block.zero_grads();
+    /// One training step starting from precomputed boundary activations:
+    /// forward and backward run through the trainable suffix only, skipping
+    /// the frozen prefix entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch, invalid labels, or optimiser
+    /// misconfiguration.
+    pub fn train_batch_cached(
+        &mut self,
+        boundary: &Matrix,
+        labels: &[usize],
+        optimizer: &mut Sgd,
+        freeze: FreezeLevel,
+    ) -> Result<f32> {
+        suffix::train_blocks(
+            &mut self.blocks[freeze.frozen_blocks()..],
+            &self.loss,
+            boundary,
+            labels,
+            optimizer,
+        )
+    }
+
+    /// Clones the trainable suffix `θ` into a standalone [`SuffixNet`] —
+    /// the `O(|θ|)` model snapshot a client needs for local training when
+    /// the frozen backbone is shared.
+    pub fn trainable_suffix(&self, freeze: FreezeLevel) -> SuffixNet {
+        SuffixNet::from_blocks(self.blocks[freeze.frozen_blocks()..].to_vec(), freeze)
+    }
+
+    /// A cheap fingerprint of the frozen prefix under a freeze level: a hash
+    /// over the frozen blocks' parameter bits and shapes.
+    ///
+    /// Feature caches key their entries on this value so that cached
+    /// boundary activations are never served for a *different* backbone —
+    /// if `ϕ` ever changes (a new run, a different pretrained model), the
+    /// fingerprint changes and the cache rebuilds. During one federated run
+    /// `ϕ` is frozen, so the fingerprint is invariant round to round.
+    pub fn frozen_fingerprint(&self, freeze: FreezeLevel) -> u64 {
+        // FNV-1a over the structure and parameter bits; not cryptographic,
+        // just collision-resistant enough for cache keying.
+        let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+        let mut mix = |value: u64| {
+            hash ^= value;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(freeze.frozen_blocks() as u64);
+        for block in &self.blocks[..freeze.frozen_blocks()] {
+            for param in block.params() {
+                mix(param.rows() as u64);
+                mix(param.cols() as u64);
+                for &value in param.as_slice() {
+                    mix(u64::from(value.to_bits()));
+                }
+            }
         }
-        // Backward through trainable blocks only, in reverse order.
-        for block in self.blocks[first_trainable..].iter_mut().rev() {
-            grad = block.backward(&grad)?;
-        }
-        let grads: Vec<Matrix> = self.blocks[first_trainable..]
-            .iter()
-            .flat_map(|b| b.grads().into_iter().cloned())
-            .collect();
-        let mut params: Vec<&mut Matrix> = self.blocks[first_trainable..]
-            .iter_mut()
-            .flat_map(|b| b.params_mut())
-            .collect();
-        let grad_refs: Vec<&Matrix> = grads.iter().collect();
-        optimizer.step(&mut params, &grad_refs)?;
-        Ok(loss_value)
+        hash
     }
 
     /// Number of trainable scalar parameters under a freeze level.
@@ -549,6 +635,81 @@ mod tests {
             net.flops_per_sample(FreezeLevel::Classifier)
                 .inference_flops()
         );
+    }
+
+    #[test]
+    fn forward_frozen_matches_prefix_of_forward_collect() {
+        let mut net = BlockNet::new(&config(), 9);
+        let x = Matrix::from_rows(&[
+            vec![0.4, -0.2, 1.0, 0.0, -1.0, 0.6],
+            vec![-0.4, 0.2, -1.0, 0.5, 1.0, -0.6],
+        ])
+        .unwrap();
+        let collected = net.forward_collect(&x).unwrap();
+        for freeze in [
+            FreezeLevel::Large,
+            FreezeLevel::Moderate,
+            FreezeLevel::Classifier,
+        ] {
+            let boundary = net.forward_frozen(freeze, &x).unwrap();
+            assert_eq!(boundary, collected[freeze.frozen_blocks() - 1].1);
+        }
+        // No frozen prefix: the boundary is the input itself.
+        assert_eq!(net.forward_frozen(FreezeLevel::Full, &x).unwrap(), x);
+    }
+
+    #[test]
+    fn forward_trainable_from_boundary_matches_full_forward() {
+        let mut net = BlockNet::new(&config(), 4);
+        let x = Matrix::full(3, 6, 0.3);
+        let full = net.forward(&x).unwrap();
+        for freeze in FreezeLevel::all() {
+            let boundary = net.forward_frozen(freeze, &x).unwrap();
+            let split = net.forward_trainable(freeze, &boundary, false).unwrap();
+            assert_eq!(full, split, "freeze {freeze}");
+        }
+    }
+
+    #[test]
+    fn train_batch_cached_is_bit_identical_to_train_batch() {
+        let freeze = FreezeLevel::Moderate;
+        let mut direct = BlockNet::new(&config(), 7);
+        let mut cached = BlockNet::new(&config(), 7);
+        let mut sgd_a = Sgd::new(SgdConfig::default()).unwrap();
+        let mut sgd_b = Sgd::new(SgdConfig::default()).unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.1],
+            vec![0.0, 1.0, -0.5, 0.5, -0.2, 0.3],
+        ])
+        .unwrap();
+        let boundary = cached.forward_frozen(freeze, &x).unwrap();
+        for _ in 0..5 {
+            let a = direct.train_batch(&x, &[1, 2], &mut sgd_a, freeze).unwrap();
+            let b = cached
+                .train_batch_cached(&boundary, &[1, 2], &mut sgd_b, freeze)
+                .unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(direct.full_vector(), cached.full_vector());
+    }
+
+    #[test]
+    fn frozen_fingerprint_tracks_the_frozen_prefix_only() {
+        let net = BlockNet::new(&config(), 2);
+        let freeze = FreezeLevel::Moderate;
+        let fp = net.frozen_fingerprint(freeze);
+        assert_eq!(fp, net.frozen_fingerprint(freeze), "deterministic");
+
+        // Updating θ (the trainable part) must not change the fingerprint.
+        let mut theta_changed = net.clone();
+        let theta = BlockNet::new(&config(), 99).trainable_vector(freeze);
+        theta_changed.set_trainable_vector(freeze, &theta).unwrap();
+        assert_eq!(theta_changed.frozen_fingerprint(freeze), fp);
+
+        // A different backbone or a different freeze level must change it.
+        let other = BlockNet::new(&config(), 3);
+        assert_ne!(other.frozen_fingerprint(freeze), fp);
+        assert_ne!(net.frozen_fingerprint(FreezeLevel::Classifier), fp);
     }
 
     #[test]

@@ -116,14 +116,10 @@ impl Conv2d {
         }
         Some(c * self.input_shape.height * self.input_shape.width + y * self.input_shape.width + x)
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &'static str {
-        "conv2d"
-    }
-
-    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+    /// The convolution arithmetic shared by the training and frozen forward
+    /// paths (the training flag does not affect a convolution).
+    fn compute_forward(&self, input: &Matrix) -> Result<Matrix> {
         if input.cols() != self.input_shape.len() {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "conv2d_forward",
@@ -160,8 +156,23 @@ impl Layer for Conv2d {
                 }
             }
         }
+        Ok(out)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        let out = self.compute_forward(input)?;
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
+        self.compute_forward(input)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
@@ -285,14 +296,10 @@ impl MaxPool2d {
             width: self.input_shape.width / self.window,
         }
     }
-}
 
-impl Layer for MaxPool2d {
-    fn name(&self) -> &'static str {
-        "maxpool2d"
-    }
-
-    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+    /// The pooling arithmetic shared by the training and frozen forward
+    /// paths; the argmax indices are only needed for a backward pass.
+    fn compute_forward(&self, input: &Matrix) -> Result<(Matrix, Vec<usize>)> {
         if input.cols() != self.input_shape.len() {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "maxpool_forward",
@@ -331,9 +338,24 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+        Ok((out, argmax))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        let (out, argmax) = self.compute_forward(input)?;
         self.argmax = Some(argmax);
         self.cached_rows = input.rows();
         Ok(out)
+    }
+
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
+        Ok(self.compute_forward(input)?.0)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {

@@ -35,6 +35,32 @@ impl FlopsBreakdown {
         self.forward_frozen + self.forward_trainable
     }
 
+    /// Total FLOPs for one training step on one sample when the boundary
+    /// activations of the frozen prefix are served from a feature cache:
+    /// only the trainable suffix runs, forward and backward.
+    ///
+    /// This is the **cached** workload accounting; [`FlopsBreakdown::
+    /// training_flops`] is the paper-faithful one that re-runs the frozen
+    /// prefix every step. The one-time cost of building the cache is
+    /// [`FlopsBreakdown::cache_build_flops`] per sample.
+    pub fn cached_training_flops(&self) -> u64 {
+        self.forward_trainable + self.backward_trainable
+    }
+
+    /// Total FLOPs for one inference pass on one sample from cached boundary
+    /// activations (e.g. the entropy-selection pass through the suffix).
+    pub fn cached_inference_flops(&self) -> u64 {
+        self.forward_trainable
+    }
+
+    /// One-time per-sample FLOPs to build the feature cache: a single
+    /// forward pass through the frozen prefix. Paid once per client dataset
+    /// per backbone, then amortised across every batch, epoch, round and
+    /// selection pass.
+    pub fn cache_build_flops(&self) -> u64 {
+        self.forward_frozen
+    }
+
     /// Sums two breakdowns component-wise.
     pub fn combine(&self, other: &FlopsBreakdown) -> FlopsBreakdown {
         FlopsBreakdown {
@@ -58,6 +84,29 @@ mod tests {
         };
         assert_eq!(b.training_flops(), 270);
         assert_eq!(b.inference_flops(), 150);
+        assert_eq!(b.cached_training_flops(), 170);
+        assert_eq!(b.cached_inference_flops(), 50);
+        assert_eq!(b.cache_build_flops(), 100);
+    }
+
+    #[test]
+    fn cached_accounting_never_exceeds_the_paper_faithful_one() {
+        let b = FlopsBreakdown {
+            forward_frozen: 100,
+            forward_trainable: 50,
+            backward_trainable: 120,
+        };
+        assert!(b.cached_training_flops() <= b.training_flops());
+        assert!(b.cached_inference_flops() <= b.inference_flops());
+        // Without a frozen prefix the two accountings coincide.
+        let full = FlopsBreakdown {
+            forward_frozen: 0,
+            forward_trainable: 150,
+            backward_trainable: 120,
+        };
+        assert_eq!(full.cached_training_flops(), full.training_flops());
+        assert_eq!(full.cached_inference_flops(), full.inference_flops());
+        assert_eq!(full.cache_build_flops(), 0);
     }
 
     #[test]

@@ -27,6 +27,22 @@ pub trait Layer: Send + Sync {
     /// Returns an error if the input shape is incompatible with the layer.
     fn forward(&mut self, input: &Matrix, training: bool) -> Result<Matrix>;
 
+    /// Runs the forward pass through a shared reference, without caching
+    /// anything for a later backward pass.
+    ///
+    /// This is the inference-mode forward used for **frozen** blocks: they
+    /// are never back-propagated through, so the activation caches written
+    /// by [`Layer::forward`] would be dead weight, and the shared-reference
+    /// signature lets one model serve many clients concurrently. For
+    /// stateless-at-inference layers (dense, convolution, activations) the
+    /// arithmetic is identical to [`Layer::forward`], so the two paths
+    /// produce bit-identical outputs on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix>;
+
     /// Runs the backward pass for the most recent `forward` call.
     ///
     /// Accumulates parameter gradients internally and returns the gradient of

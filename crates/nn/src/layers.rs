@@ -77,9 +77,13 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
-        let out = input.matmul(&self.weight)?.add_row_broadcast(&self.bias)?;
+        let out = self.forward_frozen(input)?;
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
+        Ok(input.matmul(&self.weight)?.add_row_broadcast(&self.bias)?)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
@@ -146,6 +150,10 @@ impl Layer for Relu {
 
     fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
         self.cached_input = Some(input.clone());
+        self.forward_frozen(input)
+    }
+
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
         Ok(input.map(|v| v.max(0.0)))
     }
 
@@ -253,6 +261,12 @@ impl Layer for Dropout {
         Ok(out)
     }
 
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
+        // Frozen blocks always run in inference mode, where dropout is the
+        // identity.
+        Ok(input.clone())
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
         match &self.mask {
             Some(mask) => Ok(grad_output.hadamard(mask)?),
@@ -326,6 +340,38 @@ impl BatchNorm1d {
     pub fn features(&self) -> usize {
         self.features
     }
+
+    /// The normalisation arithmetic shared by every forward path:
+    /// `out = γ · (x − mean) / √(var + ε) + β`, also returning the
+    /// normalised activations and inverse standard deviations the backward
+    /// pass caches. One implementation keeps the training, inference and
+    /// frozen paths bit-identical by construction.
+    fn normalise(&self, input: &Matrix, mean: &Matrix, var: &Matrix) -> (Matrix, Matrix, Vec<f32>) {
+        let std_inv: Vec<f32> = (0..self.features)
+            .map(|c| 1.0 / (var.get(0, c) + self.eps).sqrt())
+            .collect();
+        let mut normalised = Matrix::zeros(input.rows(), self.features);
+        let mut out = Matrix::zeros(input.rows(), self.features);
+        for r in 0..input.rows() {
+            for (c, &si) in std_inv.iter().enumerate() {
+                let x_hat = (input.get(r, c) - mean.get(0, c)) * si;
+                normalised.set(r, c, x_hat);
+                out.set(r, c, self.gamma.get(0, c) * x_hat + self.beta.get(0, c));
+            }
+        }
+        (out, normalised, std_inv)
+    }
+
+    fn check_width(&self, input: &Matrix) -> Result<()> {
+        if input.cols() != self.features {
+            return Err(NnError::Tensor(fedft_tensor::TensorError::ShapeMismatch {
+                op: "batchnorm_forward",
+                lhs: input.shape(),
+                rhs: (1, self.features),
+            }));
+        }
+        Ok(())
+    }
 }
 
 impl Layer for BatchNorm1d {
@@ -334,13 +380,7 @@ impl Layer for BatchNorm1d {
     }
 
     fn forward(&mut self, input: &Matrix, training: bool) -> Result<Matrix> {
-        if input.cols() != self.features {
-            return Err(NnError::Tensor(fedft_tensor::TensorError::ShapeMismatch {
-                op: "batchnorm_forward",
-                lhs: input.shape(),
-                rhs: (1, self.features),
-            }));
-        }
+        self.check_width(input)?;
         let n = input.rows().max(1) as f32;
         let (mean, var) = if training && input.rows() > 1 {
             let mean = input.mean_rows()?;
@@ -372,18 +412,7 @@ impl Layer for BatchNorm1d {
             (self.running_mean.clone(), self.running_var.clone())
         };
 
-        let std_inv: Vec<f32> = (0..self.features)
-            .map(|c| 1.0 / (var.get(0, c) + self.eps).sqrt())
-            .collect();
-        let mut normalised = Matrix::zeros(input.rows(), self.features);
-        let mut out = Matrix::zeros(input.rows(), self.features);
-        for r in 0..input.rows() {
-            for (c, &si) in std_inv.iter().enumerate() {
-                let x_hat = (input.get(r, c) - mean.get(0, c)) * si;
-                normalised.set(r, c, x_hat);
-                out.set(r, c, self.gamma.get(0, c) * x_hat + self.beta.get(0, c));
-            }
-        }
+        let (out, normalised, std_inv) = self.normalise(input, &mean, &var);
         if training {
             self.cache = Some(BnCache {
                 normalised,
@@ -392,6 +421,13 @@ impl Layer for BatchNorm1d {
         } else {
             self.cache = None;
         }
+        Ok(out)
+    }
+
+    fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
+        self.check_width(input)?;
+        // The inference path of `forward`: running statistics, no cache.
+        let (out, _, _) = self.normalise(input, &self.running_mean, &self.running_var);
         Ok(out)
     }
 
@@ -668,6 +704,37 @@ mod tests {
             1e-3,
             2e-2,
         );
+    }
+
+    #[test]
+    fn forward_frozen_matches_inference_forward_bit_for_bit() {
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7]]).unwrap();
+        let mut dense = Dense::new(3, 4, 1);
+        assert_eq!(
+            dense.forward_frozen(&x).unwrap(),
+            dense.forward(&x, false).unwrap()
+        );
+        let mut relu = Relu::new(3);
+        assert_eq!(
+            relu.forward_frozen(&x).unwrap(),
+            relu.forward(&x, false).unwrap()
+        );
+        let mut dropout = Dropout::new(0.5, 7, 3);
+        assert_eq!(
+            dropout.forward_frozen(&x).unwrap(),
+            dropout.forward(&x, false).unwrap()
+        );
+        let mut bn = BatchNorm1d::new(3);
+        // Accumulate some running statistics first so the inference path is
+        // non-trivial.
+        for _ in 0..3 {
+            bn.forward(&x, true).unwrap();
+        }
+        assert_eq!(
+            bn.forward_frozen(&x).unwrap(),
+            bn.forward(&x, false).unwrap()
+        );
+        assert!(bn.forward_frozen(&Matrix::zeros(1, 5)).is_err());
     }
 
     #[test]

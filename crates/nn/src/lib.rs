@@ -46,6 +46,7 @@ pub mod loss;
 pub mod optimizer;
 pub mod params;
 pub mod sequential;
+pub mod suffix;
 pub mod trainer;
 
 pub use block::{BlockId, BlockNet, BlockNetConfig};
@@ -57,6 +58,7 @@ pub use loss::SoftmaxCrossEntropy;
 pub use optimizer::{ProximalTerm, Sgd, SgdConfig};
 pub use params::ParamVector;
 pub use sequential::Sequential;
+pub use suffix::SuffixNet;
 pub use trainer::{EvalReport, Trainer, TrainerConfig};
 
 /// Convenience result alias used across the crate.

@@ -66,6 +66,23 @@ impl Sequential {
         Ok(current)
     }
 
+    /// Runs the inference forward pass through every layer via a shared
+    /// reference, without caching activations for a backward pass.
+    ///
+    /// Used for frozen blocks ([`crate::BlockNet::forward_frozen`]); see
+    /// [`crate::Layer::forward_frozen`] for the exact semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error encountered.
+    pub fn forward_frozen(&self, input: &Matrix) -> Result<Matrix> {
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = layer.forward_frozen(&current)?;
+        }
+        Ok(current)
+    }
+
     /// Runs the backward pass through every layer in reverse order.
     ///
     /// # Errors

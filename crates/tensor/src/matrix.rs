@@ -276,6 +276,28 @@ impl Matrix {
         }
     }
 
+    /// Like [`Matrix::select_rows`], but writes the gathered rows into a
+    /// caller-provided matrix, reusing its buffer when capacity allows.
+    ///
+    /// The destination is resized to `indices.len() × self.cols()`; its
+    /// previous contents are discarded. Repeated gathers into the same
+    /// buffer (e.g. batch assembly inside a training loop) therefore
+    /// allocate only when a batch grows beyond every previous one. The
+    /// gathered values are byte-identical to [`Matrix::select_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &idx in indices {
+            out.data.extend_from_slice(self.row(idx));
+        }
+        out.rows = indices.len();
+        out.cols = self.cols;
+    }
+
     /// Stacks two matrices with the same number of columns vertically.
     ///
     /// # Errors
@@ -843,6 +865,22 @@ mod tests {
         assert_eq!(s.row(0), &[4.0, 5.0, 6.0]);
         assert_eq!(s.row(1), &[1.0, 2.0, 3.0]);
         assert_eq!(s.row(2), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows_and_reuses_buffer() {
+        let m = sample();
+        let mut buf = Matrix::default();
+        m.select_rows_into(&[1, 0, 1], &mut buf);
+        assert_eq!(buf, m.select_rows(&[1, 0, 1]));
+        // A second, smaller gather reuses the buffer and fully overwrites it.
+        m.select_rows_into(&[0], &mut buf);
+        assert_eq!(buf, m.select_rows(&[0]));
+        assert_eq!(buf.shape(), (1, 3));
+        // An empty gather yields an empty 0×cols matrix.
+        m.select_rows_into(&[], &mut buf);
+        assert_eq!(buf.shape(), (0, 3));
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -172,6 +172,7 @@ fn staleness_weights_are_convex_for_every_sampled_round() {
                 local_samples: selected.max(1) * 2,
                 train_loss: 0.5,
                 compute_seconds: 1.0,
+                cached_compute_seconds: 0.5,
             });
             staleness.push((r.gen::<u64>() % 6) as usize);
         }

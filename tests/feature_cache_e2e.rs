@@ -1,0 +1,180 @@
+//! End-to-end contract of the frozen-feature cache: with
+//! `FlConfig::feature_cache` enabled, every `run_labelled` history is
+//! **bit-identical** to the cache-off run — across execution backends,
+//! freeze levels and selection strategies. The cache only changes *how* the
+//! frozen prefix's activations are obtained (memoised once vs recomputed per
+//! batch); the kernels, inputs and arithmetic are the same, so the histories
+//! must match exactly, including every f32/f64 bit.
+
+use fedft::core::{
+    ExecutionBackend, FlConfig, HeterogeneityModel, Method, SelectionStrategy, Simulation,
+};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig, FreezeLevel};
+
+fn setup(num_clients: usize) -> (FederatedDataset, BlockNet) {
+    let bundle = domains::cifar10_like()
+        .with_samples_per_class(12)
+        .with_test_samples_per_class(4)
+        .generate(5)
+        .unwrap();
+    let fed = FederatedDataset::partition(
+        &bundle.train,
+        bundle.test.clone(),
+        num_clients,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        7,
+    )
+    .unwrap();
+    let model_cfg = BlockNetConfig::new(bundle.train.feature_dim(), 10).with_hidden(16, 16, 16);
+    (fed, BlockNet::new(&model_cfg, 3))
+}
+
+fn quick(rounds: usize) -> FlConfig {
+    FlConfig::default()
+        .with_rounds(rounds)
+        .with_local_epochs(1)
+        .with_batch_size(16)
+        .serial()
+}
+
+/// Runs `config` twice — cache off and cache on — and asserts bit-identical
+/// histories (RoundRecord derives PartialEq over every field, including the
+/// f32/f64 metrics, so `==` is an exact-bits comparison for finite values).
+fn assert_cache_transparent(
+    label: &str,
+    config: FlConfig,
+    fed: &FederatedDataset,
+    model: &BlockNet,
+) {
+    let off = Simulation::new(config.clone().with_feature_cache(false))
+        .unwrap()
+        .run_labelled(label, fed, model)
+        .unwrap();
+    let on = Simulation::new(config.with_feature_cache(true))
+        .unwrap()
+        .run_labelled(label, fed, model)
+        .unwrap();
+    assert_eq!(
+        off.rounds, on.rounds,
+        "{label}: cache-on history diverged from cache-off"
+    );
+}
+
+#[test]
+fn cache_is_transparent_across_freeze_levels() {
+    let (fed, model) = setup(4);
+    for freeze in FreezeLevel::all() {
+        let config = quick(3)
+            .with_freeze(freeze)
+            .with_selection(SelectionStrategy::Entropy {
+                fraction: 0.5,
+                temperature: 0.1,
+            });
+        assert_cache_transparent(&format!("freeze-{freeze}"), config, &fed, &model);
+    }
+}
+
+#[test]
+fn cache_is_transparent_across_selection_strategies() {
+    let (fed, model) = setup(4);
+    for (name, selection) in [
+        ("all", SelectionStrategy::All),
+        ("rds", SelectionStrategy::Random { fraction: 0.4 }),
+        (
+            "eds",
+            SelectionStrategy::Entropy {
+                fraction: 0.4,
+                temperature: 0.1,
+            },
+        ),
+    ] {
+        let config = quick(3).with_selection(selection);
+        assert_cache_transparent(name, config, &fed, &model);
+    }
+}
+
+#[test]
+fn cache_is_transparent_across_execution_backends() {
+    let (fed, model) = setup(6);
+    let eds = SelectionStrategy::Entropy {
+        fraction: 0.5,
+        temperature: 0.1,
+    };
+    // Sequential and Parallel: plain scheduling, full participation.
+    for backend in [ExecutionBackend::Sequential, ExecutionBackend::Parallel] {
+        let config = quick(3).with_selection(eds).with_execution(backend);
+        assert_cache_transparent(backend.short_name(), config, &fed, &model);
+    }
+    // Deadline: heterogeneous tiers with a finite deadline, so drops occur.
+    let hetero = HeterogeneityModel::two_tier();
+    let deadline_config = quick(3)
+        .with_selection(eds)
+        .with_heterogeneity(hetero.clone())
+        .with_seed(3)
+        .with_execution(ExecutionBackend::Deadline)
+        .with_deadline(
+            hetero
+                .predicted_times(&fed, &model, &quick(1).with_selection(eds).with_seed(3))
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max)
+                * 0.75,
+        );
+    assert_cache_transparent("deadline", deadline_config, &fed, &model);
+    // Async: overlapping rounds with genuinely stale model versions.
+    let async_config = quick(4)
+        .with_selection(eds)
+        .with_heterogeneity(HeterogeneityModel::two_tier())
+        .with_seed(3)
+        .with_participation(0.5)
+        .with_async(2);
+    assert_cache_transparent("async", async_config, &fed, &model);
+}
+
+#[test]
+fn cache_is_transparent_for_the_paper_method_lineup() {
+    // The paper's own method configurations (FedFT-EDS plus the baselines
+    // it compares against) drive every knob combination at once.
+    let (fed, model) = setup(4);
+    for method in [
+        Method::FedAvg,
+        Method::FedProx { mu: 0.01 },
+        Method::FedFtAll,
+        Method::FedFtRds { pds: 0.5 },
+        Method::FedFtEds { pds: 0.5 },
+    ] {
+        let config = method.configure(quick(2));
+        assert_cache_transparent(&format!("{method:?}"), config, &fed, &model);
+    }
+}
+
+#[test]
+fn cached_accounting_rides_along_and_is_never_more_expensive() {
+    let (fed, model) = setup(4);
+    let config = quick(3).with_selection(SelectionStrategy::Entropy {
+        fraction: 0.5,
+        temperature: 0.1,
+    });
+    let run = Simulation::new(config)
+        .unwrap()
+        .run_labelled("accounting", &fed, &model)
+        .unwrap();
+    // Default freeze (Moderate) has a frozen prefix: cached strictly cheaper.
+    assert!(run.total_client_seconds_cached() > 0.0);
+    assert!(run.total_client_seconds_cached() < run.total_client_seconds());
+    assert!(run.cached_learning_efficiency() > run.learning_efficiency());
+    for record in &run.rounds {
+        assert!(record.round_client_seconds_cached <= record.round_client_seconds);
+    }
+    // Full-model training has no frozen prefix: the accountings coincide.
+    let full = Simulation::new(quick(2).with_freeze(FreezeLevel::Full))
+        .unwrap()
+        .run_labelled("full", &fed, &model)
+        .unwrap();
+    assert_eq!(
+        full.total_client_seconds_cached().to_bits(),
+        full.total_client_seconds().to_bits()
+    );
+}

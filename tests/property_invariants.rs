@@ -126,6 +126,7 @@ fn aggregation_is_a_convex_combination() {
                 local_samples: selected,
                 train_loss: 0.0,
                 compute_seconds: 1.0,
+                cached_compute_seconds: 0.5,
             })
             .collect();
         let aggregated = Server::new().aggregate(&updates, 0).unwrap();
@@ -149,12 +150,8 @@ fn selection_count_matches_fraction_and_indices_are_unique() {
             let samples = rng.gen_range(1usize..60);
             let fraction = f64::from(rng.gen_range(1u32..101)) / 100.0;
             let round = rng.gen_range(0usize..5);
-            let features = Matrix::zeros(samples, 4);
-            let labels: Vec<usize> = (0..samples).map(|i| i % 3).collect();
-            let dataset = Dataset::new(features, labels, 3).unwrap();
-            let mut model = BlockNet::new(&BlockNetConfig::new(4, 3).with_hidden(8, 8, 8), 1);
             let strategy = SelectionStrategy::Random { fraction };
-            let selected = strategy.select(&mut model, &dataset, round, 0, 9).unwrap();
+            let selected = strategy.select(samples, round, 0, 9).unwrap();
             assert_eq!(selected.len(), strategy.selected_count(samples));
             assert!(!selected.is_empty());
             assert!(selected.len() <= samples);

@@ -60,9 +60,8 @@ fn entropy_selection_changes_as_the_model_evolves() {
         temperature: 0.1,
     };
     let mut before = global.clone();
-    let selected_before = strategy
-        .select(&mut before, fed.client(0), 0, 0, 1)
-        .unwrap();
+    let entropies_before = sample_entropies(&mut before, fed.client(0).features(), 0.1).unwrap();
+    let selected_before = strategy.select_from_entropies(&entropies_before).unwrap();
 
     // Train the global model federatedly for a few rounds, then reselect.
     let config = Method::FedFtEds { pds: 0.5 }.configure(
@@ -81,7 +80,8 @@ fn entropy_selection_changes_as_the_model_evolves() {
     after
         .set_trainable_vector(config.freeze, &update.theta)
         .unwrap();
-    let selected_after = strategy.select(&mut after, fed.client(0), 1, 0, 1).unwrap();
+    let entropies_after = sample_entropies(&mut after, fed.client(0).features(), 0.1).unwrap();
+    let selected_after = strategy.select_from_entropies(&entropies_after).unwrap();
 
     assert_eq!(selected_before.len(), selected_after.len());
     assert_ne!(
