@@ -112,6 +112,10 @@ mod tests {
                 cumulative_client_seconds_cached: seconds_per_round * (i + 1) as f64 / 2.0,
                 round_wall_seconds: seconds_per_round,
                 cumulative_wall_seconds: seconds_per_round * (i + 1) as f64,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_evictions: 0,
+                cache_peak_bytes: 0,
             })
             .collect();
         RunResult::new(label, rounds)

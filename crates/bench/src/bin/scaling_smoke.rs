@@ -12,9 +12,17 @@
 //!    cache-enabled run's histories must be bit-identical to `Sequential`;
 //! 3. on multi-core hosts asserts parallel wall-clock ≤ sequential (with a
 //!    small noise allowance) — exit non-zero otherwise;
-//! 4. writes a `BENCH_scaling.json` artifact with the measured curve plus
-//!    the *simulated* wall-clock contrast (async overlap vs synchronous
-//!    rounds), which is hardware-independent.
+//! 4. runs a **logical client pool**: ~10k logical clients over 100
+//!    physical shards with the shared cache registry under a byte budget
+//!    set *below* what the 100 distinct per-shard caches hold. The run
+//!    must stay under budget (peak cache bytes ≤ budget — exit non-zero
+//!    otherwise) and its learning history must be bit-identical to both
+//!    the per-client-cache and the cache-off baselines of the same pool;
+//! 5. writes a `BENCH_scaling.json` artifact with the measured curve, the
+//!    *simulated* wall-clock contrast (async overlap vs synchronous
+//!    rounds), per-backend cache hit/miss/peak-bytes counters and the
+//!    logical-pool cache section — all hardware-independent except the
+//!    elapsed times.
 //!
 //! Usage: `scaling_smoke [--out BENCH_scaling.json]`. Set
 //! `FEDFT_SCALING_ASSERT=0`/`1` to force the speedup assertion off/on
@@ -23,7 +31,9 @@
 //! Run via `cargo run --release -p fedft-bench --bin scaling_smoke` — debug
 //! builds are slow enough to distort the curve.
 
-use fedft_core::{ExecutionBackend, FlConfig, HeterogeneityModel, Method, RunResult, Simulation};
+use fedft_core::{
+    CacheScope, ExecutionBackend, FlConfig, HeterogeneityModel, Method, RunResult, Simulation,
+};
 use fedft_data::federated::PartitionScheme;
 use fedft_data::{domains, FederatedDataset};
 use fedft_nn::{BlockNet, BlockNetConfig};
@@ -34,6 +44,13 @@ use std::time::Instant;
 const CLIENTS: usize = 12;
 const ROUNDS: usize = 3;
 const SEED: u64 = 5;
+/// Logical-pool scenario: a cohort two orders of magnitude larger than its
+/// physical data, the regime the shared cache registry exists for.
+const POOL_SHARDS: usize = 100;
+const POOL_LOGICAL_CLIENTS: usize = 10_000;
+const POOL_ROUNDS: usize = 2;
+/// ≈ participants per pool round (fraction of the logical cohort).
+const POOL_PARTICIPANTS: usize = 40;
 /// Parallel may be up to this factor slower than sequential before the
 /// smoke check fails — absorbs scheduler noise on shared CI runners while
 /// still catching a parallel path that stopped scaling at all.
@@ -99,6 +116,118 @@ fn measure(
     })
 }
 
+/// Outcome of the logical-pool scenario, written into the JSON artifact.
+struct PoolReport {
+    budget_bytes: usize,
+    dedup_bytes: usize,
+    peak_bytes: usize,
+    per_client_peak_bytes: usize,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+fn pool_setup() -> Result<(FederatedDataset, BlockNet), Box<dyn std::error::Error>> {
+    let target = domains::cifar10_like()
+        .with_samples_per_class(60)
+        .with_test_samples_per_class(4)
+        .generate(9)?;
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        POOL_SHARDS,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        13,
+    )?;
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes())
+        .with_hidden(32, 32, 32);
+    Ok((fed, BlockNet::new(&model_cfg, 7)))
+}
+
+fn pool_config() -> FlConfig {
+    // Sequential on purpose: cache hit/miss/eviction counters are
+    // deterministic when lookups happen in participant order (the learning
+    // history is backend-invariant either way).
+    Method::FedFtEds { pds: 0.5 }.configure(
+        FlConfig::default()
+            .with_rounds(POOL_ROUNDS)
+            .with_local_epochs(1)
+            .with_batch_size(8)
+            .with_seed(SEED)
+            .with_logical_clients(POOL_LOGICAL_CLIENTS)
+            .with_participation(POOL_PARTICIPANTS as f64 / POOL_LOGICAL_CLIENTS as f64)
+            .with_feature_cache(true)
+            .serial(),
+    )
+}
+
+/// Runs the logical-pool scenario and checks its contracts; `Err` carries
+/// the violated contract for the caller to print and fail on.
+fn run_logical_pool() -> Result<PoolReport, Box<dyn std::error::Error>> {
+    let (fed, model) = pool_setup()?;
+    let run = |label: &str, config: FlConfig| -> Result<RunResult, Box<dyn std::error::Error>> {
+        Ok(Simulation::new(config)?.run_labelled(label, &fed, &model)?)
+    };
+
+    // The unbudgeted shared run measures the deduplicated working set: at
+    // most one entry per distinct shard, whatever the cohort size.
+    let unbounded = run("pool_shared_unbounded", pool_config())?;
+    let dedup_bytes = unbounded.peak_cache_bytes();
+    // The budget is set *below* the deduplicated set (and far below what
+    // per-client caches hold), so the registry must evict to stay legal.
+    let budget_bytes = (dedup_bytes / 2).max(1);
+    let budgeted = run(
+        "pool_shared_budgeted",
+        pool_config().with_cache_budget(budget_bytes),
+    )?;
+    let per_client = run(
+        "pool_per_client",
+        pool_config().with_cache_scope(CacheScope::PerClient),
+    )?;
+    let cache_off = run("pool_cache_off", pool_config().with_feature_cache(false))?;
+
+    for (label, result) in [
+        ("per-client", &per_client),
+        ("cache-off", &cache_off),
+        ("budgeted", &budgeted),
+    ] {
+        if result.learning_history() != unbounded.learning_history() {
+            return Err(format!(
+                "logical pool: {label} history diverged from the shared registry's \
+                 — determinism contract broken"
+            )
+            .into());
+        }
+    }
+    let peak_bytes = budgeted.peak_cache_bytes();
+    if peak_bytes > budget_bytes {
+        return Err(format!(
+            "logical pool: peak cache bytes {peak_bytes} exceed the budget {budget_bytes}"
+        )
+        .into());
+    }
+    if budgeted.total_cache_evictions() == 0 {
+        return Err("logical pool: a budget below the working set must evict".into());
+    }
+    let per_client_peak_bytes = per_client.peak_cache_bytes();
+    if budget_bytes >= per_client_peak_bytes {
+        return Err(format!(
+            "logical pool: budget {budget_bytes} is not below the per-client \
+             cache footprint {per_client_peak_bytes}"
+        )
+        .into());
+    }
+    Ok(PoolReport {
+        budget_bytes,
+        dedup_bytes,
+        peak_bytes,
+        per_client_peak_bytes,
+        hits: budgeted.total_cache_hits(),
+        misses: budgeted.total_cache_misses(),
+        evictions: budgeted.total_cache_evictions(),
+    })
+}
+
 fn assert_speedup_enabled(cores: usize) -> bool {
     match std::env::var("FEDFT_SCALING_ASSERT").as_deref() {
         Ok("0") => false,
@@ -107,7 +236,12 @@ fn assert_speedup_enabled(cores: usize) -> bool {
     }
 }
 
-fn render_json(cores: usize, measurements: &[Measurement], asserted: bool) -> String {
+fn render_json(
+    cores: usize,
+    measurements: &[Measurement],
+    asserted: bool,
+    pool: &PoolReport,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(
@@ -127,10 +261,39 @@ fn render_json(cores: usize, measurements: &[Measurement], asserted: bool) -> St
         let _ = writeln!(
             out,
             "    \"{}\": {{\"elapsed_seconds\": {:.4}, \"simulated_wall_seconds\": {:.4}, \
-             \"max_staleness\": {}}}{comma}",
-            m.label, m.elapsed_seconds, m.simulated_wall_seconds, m.max_staleness
+             \"max_staleness\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"peak_bytes\": {}}}}}{comma}",
+            m.label,
+            m.elapsed_seconds,
+            m.simulated_wall_seconds,
+            m.max_staleness,
+            m.result.total_cache_hits(),
+            m.result.total_cache_misses(),
+            m.result.total_cache_evictions(),
+            m.result.peak_cache_bytes(),
         );
     }
+    out.push_str("  },\n");
+    out.push_str("  \"logical_pool\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"scenario\": \"{POOL_LOGICAL_CLIENTS} logical clients over {POOL_SHARDS} \
+         shards, Dirichlet(0.5), {POOL_ROUNDS} rounds, FedFT-EDS 50%, \
+         ~{POOL_PARTICIPANTS} participants per round\","
+    );
+    let _ = writeln!(out, "    \"budget_bytes\": {},", pool.budget_bytes);
+    let _ = writeln!(out, "    \"peak_bytes\": {},", pool.peak_bytes);
+    let _ = writeln!(out, "    \"dedup_bytes\": {},", pool.dedup_bytes);
+    let _ = writeln!(
+        out,
+        "    \"per_client_peak_bytes\": {},",
+        pool.per_client_peak_bytes
+    );
+    let _ = writeln!(
+        out,
+        "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+        pool.hits, pool.misses, pool.evictions
+    );
     out.push_str("  }\n}\n");
     out
 }
@@ -210,11 +373,13 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| panic!("plan is missing the `{label}` run"))
     };
     // Determinism contracts: parallel, async(0) and the cache-enabled run
-    // all replay the sequential history bit for bit.
+    // all replay the sequential history bit for bit (the cache counters
+    // themselves are excluded — they describe the cache, which is off on
+    // the reference run).
     let sequential = by_label("sequential");
     for label in ["parallel", "async_s0", "sequential_cached"] {
         let m = by_label(label);
-        if m.result.rounds != sequential.result.rounds {
+        if m.result.learning_history() != sequential.result.learning_history() {
             eprintln!(
                 "scaling_smoke: {} history diverged from sequential — determinism contract broken",
                 m.label
@@ -245,7 +410,33 @@ fn main() -> ExitCode {
         println!("  (speedup assertion skipped: {cores} core(s) available)");
     }
 
-    let json = render_json(cores, &measurements, asserted);
+    // Logical client pool: dedup + byte budget + bit-identity contracts.
+    println!(
+        "logical pool: {POOL_LOGICAL_CLIENTS} logical clients over {POOL_SHARDS} shards, \
+         {POOL_ROUNDS} rounds"
+    );
+    let pool = match run_logical_pool() {
+        Ok(report) => {
+            println!(
+                "  budget {} B, peak {} B, dedup set {} B, per-client footprint {} B",
+                report.budget_bytes,
+                report.peak_bytes,
+                report.dedup_bytes,
+                report.per_client_peak_bytes
+            );
+            println!(
+                "  cache hits {}  misses {}  evictions {}",
+                report.hits, report.misses, report.evictions
+            );
+            report
+        }
+        Err(e) => {
+            eprintln!("scaling_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = render_json(cores, &measurements, asserted, &pool);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("scaling_smoke: cannot write `{out_path}`: {e}");
         return ExitCode::from(2);

@@ -1,42 +1,97 @@
-//! Per-client cache of frozen-prefix boundary activations.
+//! Shard-deduplicated caching of frozen-prefix boundary activations.
 //!
 //! A client's local dataset never changes, and the frozen backbone `ϕ` never
 //! changes during a federated run (the server only aggregates the trainable
 //! part `θ`). The boundary activations `ϕ(x)` of the client's local data are
 //! therefore **round-invariant**, yet the uncached simulator recomputes them
 //! for every batch of every epoch of every round — plus once more for the
-//! entropy-selection pass. [`FeatureCache`] computes them once per
-//! `(freeze level, backbone)` pair and serves row-gathered views afterwards.
+//! entropy-selection pass. PR 4 memoised them per client; this module goes
+//! one step further for *logical client pools* (N simulated clients over
+//! M ≪ N physical shards): a [`CacheRegistry`] keyed by
+//! `(source_checksum, frozen_fingerprint, freeze_level)` lets every logical
+//! client that holds the same shard share one `Arc<Matrix>` of activations,
+//! so cache memory scales with **distinct shards**, not with clients.
 //!
 //! Entries are keyed by [`fedft_nn::BlockNet::frozen_fingerprint`], a hash
 //! over the frozen parameter bits, so a cache can never serve activations
-//! computed under a *different* backbone: a new run with a different
-//! pretrained model simply misses and rebuilds. Because the cached rows are
-//! produced by the same kernels on the same inputs as the uncached per-batch
-//! forward (and every kernel accumulates in a row-partition-invariant
-//! order), training from cached rows is bit-identical to recomputing them —
-//! the contract `tests/feature_cache_e2e.rs` pins end to end.
+//! computed under a *different* backbone, and by a strided-row checksum of
+//! the source features guarding against two *different* shards aliasing one
+//! entry (exact for shards up to 16 rows, sampled beyond — see
+//! `source_checksum` in this module for the precise guarantee).
+//! Because the cached rows are produced by the same kernels on the same
+//! inputs as the uncached per-batch forward (and every kernel accumulates in
+//! a row-partition-invariant order), training from cached rows is
+//! bit-identical to recomputing them — the contract
+//! `tests/feature_cache_e2e.rs` and `tests/logical_pool_e2e.rs` pin end to
+//! end. Eviction (LRU, under [`CacheRegistry::with_budget`]) only ever
+//! forces a rebuild, never a different value, so budgets cannot change
+//! results either.
 
 use crate::Result;
 use fedft_nn::{BlockNet, FreezeLevel};
 use fedft_tensor::Matrix;
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
+
+/// Whose cache a client's frozen-prefix activations live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CacheScope {
+    /// One registry shared by every client of the run: logical clients that
+    /// hold the same physical shard share one cached entry (memory scales
+    /// with distinct shards). The default, and the only scope that honours
+    /// [`crate::FlConfig::cache_budget_bytes`].
+    #[default]
+    Shared,
+    /// Every client owns a private, unbounded cache (the pre-registry
+    /// behaviour). Memory scales with clients; kept as the baseline the
+    /// shared registry is pinned bit-identical against.
+    PerClient,
+}
+
+impl CacheScope {
+    /// Short name used in reports.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            CacheScope::Shared => "shared",
+            CacheScope::PerClient => "per-client",
+        }
+    }
+}
+
+/// Identity of one cached activation matrix: which data, under which frozen
+/// prefix, split at which level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    source_checksum: u64,
+    fingerprint: u64,
+    freeze: FreezeLevel,
+}
 
 /// One cached set of boundary activations.
 #[derive(Debug)]
 struct CacheEntry {
-    freeze: FreezeLevel,
-    fingerprint: u64,
-    source_checksum: u64,
+    key: CacheKey,
     features: Arc<Matrix>,
+    bytes: usize,
+    last_used: u64,
 }
 
 /// A cheap checksum of the source feature matrix a cache entry was built
-/// from: shape plus an FNV-1a over the first and last rows. A client's
-/// dataset never changes, so this never misses in the intended use; it
-/// exists to catch *misuse* — handing the same cache a different feature
-/// matrix — which would otherwise silently return activations of the wrong
-/// data. `O(cols)`, so it costs nothing next to the lookups it guards.
+/// from: shape plus an FNV-1a over a deterministic strided sample of rows
+/// (every ⌈rows/16⌉-th row, always including the first and last). A shard's
+/// contents never change, so this never misses in the intended use; it
+/// guards **different** shards sharing a registry from aliasing one entry —
+/// which would silently serve activations of the wrong data. Hashing only
+/// the first and last rows (the previous scheme) collided for shards that
+/// differ in interior rows only; the strided sample catches *any* single-row
+/// difference for shards up to 16 rows and keeps the cost at `O(16·cols)`
+/// beyond. The guard is sampled, not exhaustive, past 16 rows: two
+/// same-shape shards that agree on every sampled row but differ at an
+/// unsampled one would still collide. That requires ≥ 17 bit-identical
+/// sampled rows between two shards of one run — partitions assign each
+/// sample to exactly one shard, so in practice this means duplicated
+/// samples landing row-aligned across shards; hash all rows here if a data
+/// source ever makes that plausible.
 fn source_checksum(features: &Matrix) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325_u64;
     let mut mix = |value: u64| {
@@ -45,45 +100,156 @@ fn source_checksum(features: &Matrix) -> u64 {
     };
     mix(features.rows() as u64);
     mix(features.cols() as u64);
-    if features.rows() > 0 {
-        for &v in features.row(0) {
-            mix(u64::from(v.to_bits()));
+    let rows = features.rows();
+    if rows > 0 {
+        let stride = rows.div_ceil(16);
+        let mut row = 0;
+        while row < rows {
+            mix(row as u64);
+            for &v in features.row(row) {
+                mix(u64::from(v.to_bits()));
+            }
+            row += stride;
         }
-        for &v in features.row(features.rows() - 1) {
-            mix(u64::from(v.to_bits()));
+        if !(rows - 1).is_multiple_of(stride) {
+            mix((rows - 1) as u64);
+            for &v in features.row(rows - 1) {
+                mix(u64::from(v.to_bits()));
+            }
         }
     }
     hash
 }
 
-/// A lazily built, thread-safe cache of frozen-prefix boundary activations
-/// for one client's local dataset.
-///
-/// Cloning a `FeatureCache` shares the underlying storage (the cache is
-/// keyed by backbone fingerprint, so sharing between clones of the same
-/// client is always sound). The cache holds at most one entry per freeze
-/// level: a fingerprint mismatch (new backbone) or source-checksum mismatch
-/// (different feature matrix) evicts the stale entry and rebuilds.
-#[derive(Debug, Clone, Default)]
-pub struct FeatureCache {
-    entries: Arc<Mutex<Vec<CacheEntry>>>,
+fn matrix_bytes(m: &Matrix) -> usize {
+    m.rows() * m.cols() * std::mem::size_of::<f32>()
 }
 
-impl FeatureCache {
-    /// Creates an empty cache.
+/// Counters of a [`CacheRegistry`] (or a sum over several registries).
+///
+/// `hits`, `misses` and `evictions` are monotone over a registry's lifetime;
+/// `entries`/`current_bytes` describe the present content and `peak_bytes`
+/// the largest `current_bytes` ever reached — the number a byte budget
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from an existing entry.
+    pub hits: usize,
+    /// Lookups that had to build (and possibly store) the activations.
+    pub misses: usize,
+    /// Entries removed to satisfy the byte budget or invalidated by a
+    /// backbone change.
+    pub evictions: usize,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Bytes currently held across all entries.
+    pub current_bytes: usize,
+    /// Largest `current_bytes` ever reached. Never exceeds the budget of a
+    /// budgeted registry.
+    pub peak_bytes: usize,
+}
+
+impl CacheStats {
+    /// The activity between `earlier` (a previous snapshot of the same
+    /// registry) and `self`: monotone counters are differenced, content
+    /// figures (`entries`, `current_bytes`, `peak_bytes`) are taken from
+    /// `self`.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            entries: self.entries,
+            current_bytes: self.current_bytes,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+
+    /// Accumulates another registry's stats into `self` (all fields summed),
+    /// for summarising a run that used several per-client registries.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.current_bytes += other.current_bytes;
+        self.peak_bytes += other.peak_bytes;
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    entries: Vec<CacheEntry>,
+    budget_bytes: Option<usize>,
+    tick: u64,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+    current_bytes: usize,
+    peak_bytes: usize,
+}
+
+impl RegistryInner {
+    fn remove_at(&mut self, index: usize) {
+        let removed = self.entries.swap_remove(index);
+        self.current_bytes -= removed.bytes;
+        self.evictions += 1;
+    }
+}
+
+/// A process-wide, thread-safe registry of frozen-prefix boundary
+/// activations, shared by every client handed a clone of it.
+///
+/// Entries are keyed by `(source_checksum, frozen_fingerprint, freeze)`:
+/// any number of logical clients holding the same shard under the same
+/// backbone resolve to the **same** `Arc<Matrix>`, so memory scales with
+/// distinct shards rather than with clients. An optional byte budget
+/// ([`CacheRegistry::with_budget`]) is enforced by least-recently-used
+/// eviction *before* insertion, so [`CacheStats::peak_bytes`] never exceeds
+/// the budget; an entry larger than the whole budget is built and served
+/// but never retained. Cloning a `CacheRegistry` shares the underlying
+/// storage and counters.
+#[derive(Debug, Clone, Default)]
+pub struct CacheRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl CacheRegistry {
+    /// Creates an empty, unbounded registry.
     pub fn new() -> Self {
-        FeatureCache::default()
+        CacheRegistry::default()
+    }
+
+    /// Creates an empty registry that evicts least-recently-used entries to
+    /// keep its total bytes at or below `budget_bytes`.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        let registry = CacheRegistry::default();
+        registry
+            .inner
+            .lock()
+            .expect("cache registry lock poisoned")
+            .budget_bytes = Some(budget_bytes);
+        registry
+    }
+
+    /// The byte budget, or `None` for an unbounded registry.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.lock().budget_bytes
     }
 
     /// Returns the cached boundary activations of `features` under
-    /// `model`'s frozen prefix at `freeze`, computing and storing them on
-    /// the first call (and whenever the backbone fingerprint or the source
-    /// features change).
+    /// `model`'s frozen prefix at `freeze`, computing them on a miss and
+    /// storing them unless that would overflow the byte budget.
     ///
-    /// One cache is meant to serve **one** feature matrix (a client's local
-    /// dataset); a lightweight shape-and-sample checksum of the source
-    /// guards the hit path so that passing a different matrix rebuilds
-    /// instead of silently returning another dataset's activations.
+    /// The frozen forward pass runs **outside** the registry lock — the
+    /// build is the dominant cost, and holding the lock across it would
+    /// serialize unrelated shards' builds on the parallel executor. The
+    /// price is that two threads racing on the *same* key may both build
+    /// (both count as misses); the insert path re-checks and keeps the
+    /// first entry, so they still return one shared allocation and the
+    /// values are identical either way. Counters are exactly deterministic
+    /// under the sequential executor; under parallel execution only the
+    /// totals may wobble by such races, never the results.
     ///
     /// # Errors
     ///
@@ -94,44 +260,173 @@ impl FeatureCache {
         freeze: FreezeLevel,
         features: &Matrix,
     ) -> Result<Arc<Matrix>> {
-        let fingerprint = model.frozen_fingerprint(freeze);
-        let checksum = source_checksum(features);
-        let mut entries = self.entries.lock().expect("feature cache lock poisoned");
-        if let Some(entry) = entries.iter().find(|e| {
-            e.freeze == freeze && e.fingerprint == fingerprint && e.source_checksum == checksum
-        }) {
-            return Ok(Arc::clone(&entry.features));
+        let key = CacheKey {
+            source_checksum: source_checksum(features),
+            fingerprint: model.frozen_fingerprint(freeze),
+            freeze,
+        };
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let hit = inner.entries.iter_mut().find(|e| e.key == key).map(|e| {
+                e.last_used = tick;
+                Arc::clone(&e.features)
+            });
+            if let Some(features) = hit {
+                inner.hits += 1;
+                return Ok(features);
+            }
+            inner.misses += 1;
         }
         let boundary = Arc::new(model.forward_frozen(freeze, features)?);
-        entries.retain(|e| e.freeze != freeze);
-        entries.push(CacheEntry {
-            freeze,
-            fingerprint,
-            source_checksum: checksum,
+        let bytes = matrix_bytes(&boundary);
+
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Re-check: another thread may have inserted this key while we
+        // built. Serve the stored entry so equal shards keep sharing one
+        // allocation (the duplicate build is discarded; its miss stands —
+        // the work did happen).
+        let raced = inner.entries.iter_mut().find(|e| e.key == key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.features)
+        });
+        if let Some(features) = raced {
+            return Ok(features);
+        }
+        // A backbone change invalidates what was cached for this shard and
+        // freeze level: the old activations can never be asked for again
+        // (their fingerprint is gone), so drop them instead of letting them
+        // squat in the budget.
+        while let Some(stale) = inner
+            .entries
+            .iter()
+            .position(|e| e.key.freeze == freeze && e.key.source_checksum == key.source_checksum)
+        {
+            inner.remove_at(stale);
+        }
+        if let Some(budget) = inner.budget_bytes {
+            if bytes > budget {
+                // Larger than the whole budget: serve the activations but
+                // never retain them, so the peak stays under the budget.
+                return Ok(boundary);
+            }
+            while inner.current_bytes + bytes > budget {
+                let lru = inner
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("over budget implies a non-empty cache");
+                inner.remove_at(lru);
+            }
+        }
+        inner.current_bytes += bytes;
+        inner.peak_bytes = inner.peak_bytes.max(inner.current_bytes);
+        inner.entries.push(CacheEntry {
+            key,
             features: Arc::clone(&boundary),
+            bytes,
+            last_used: tick,
         });
         Ok(boundary)
     }
 
-    /// Number of freeze levels currently cached.
-    pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("feature cache lock poisoned")
-            .len()
+    /// A snapshot of the registry's counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            current_bytes: inner.current_bytes,
+            peak_bytes: inner.peak_bytes,
+        }
     }
 
-    /// Returns `true` when nothing has been cached yet.
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Returns `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops every cached entry.
+    /// Drops every cached entry (counters, including the peak, are kept).
     pub fn clear(&self) {
-        self.entries
-            .lock()
-            .expect("feature cache lock poisoned")
-            .clear();
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.current_bytes = 0;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().expect("cache registry lock poisoned")
+    }
+}
+
+/// A client's handle onto a [`CacheRegistry`].
+///
+/// [`FeatureCache::new`] wraps a fresh private registry (the per-client
+/// caching of [`CacheScope::PerClient`]); [`FeatureCache::shared`] wraps a
+/// registry shared across clients, which is what deduplicates entries
+/// between logical clients holding the same shard. Cloning a `FeatureCache`
+/// shares the underlying registry either way.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    registry: CacheRegistry,
+}
+
+impl FeatureCache {
+    /// Creates a handle onto a fresh, private, unbounded registry.
+    pub fn new() -> Self {
+        FeatureCache::default()
+    }
+
+    /// Creates a handle onto an existing (typically shared) registry.
+    pub fn shared(registry: CacheRegistry) -> Self {
+        FeatureCache { registry }
+    }
+
+    /// The registry this handle reads and writes.
+    pub fn registry(&self) -> &CacheRegistry {
+        &self.registry
+    }
+
+    /// Returns the cached boundary activations of `features` under
+    /// `model`'s frozen prefix at `freeze`; see
+    /// [`CacheRegistry::get_or_build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the frozen forward pass.
+    pub fn get_or_build(
+        &self,
+        model: &BlockNet,
+        freeze: FreezeLevel,
+        features: &Matrix,
+    ) -> Result<Arc<Matrix>> {
+        self.registry.get_or_build(model, freeze, features)
+    }
+
+    /// Number of entries in the underlying registry.
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Returns `true` when the underlying registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
+    /// Drops every entry of the underlying registry.
+    pub fn clear(&self) {
+        self.registry.clear()
     }
 }
 
@@ -158,6 +453,10 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
         assert_eq!(cache.len(), 1);
         assert_eq!(*a, m.forward_frozen(FreezeLevel::Moderate, &x).unwrap());
+        let stats = cache.registry().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.current_bytes, a.rows() * a.cols() * 4);
+        assert_eq!(stats.peak_bytes, stats.current_bytes);
     }
 
     #[test]
@@ -192,6 +491,7 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 1, "stale entry evicted, not accumulated");
         assert_eq!(*c, other.forward_frozen(freeze, &x).unwrap());
+        assert_eq!(cache.registry().stats().evictions, 1);
     }
 
     #[test]
@@ -221,5 +521,165 @@ mod tests {
         assert_eq!(cache.len(), 1, "clones share the same storage");
         cache.clear();
         assert!(shared.is_empty());
+    }
+
+    #[test]
+    fn checksum_distinguishes_matrices_that_share_first_and_last_rows() {
+        // Regression: the pre-registry checksum hashed only the first and
+        // last rows, so shards differing in interior rows collided — a
+        // wrong-data hazard once entries are shared by checksum.
+        let a = features();
+        let mut b = features();
+        b.set(3, 2, 99.0); // interior row only; first and last rows equal
+        assert_eq!(a.row(0), b.row(0));
+        assert_eq!(a.row(a.rows() - 1), b.row(b.rows() - 1));
+        assert_ne!(source_checksum(&a), source_checksum(&b));
+
+        // And through the registry: the two shards must resolve to their
+        // own activations, never alias.
+        let registry = CacheRegistry::new();
+        let m = model(1);
+        let fa = registry
+            .get_or_build(&m, FreezeLevel::Moderate, &a)
+            .unwrap();
+        let fb = registry
+            .get_or_build(&m, FreezeLevel::Moderate, &b)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&fa, &fb));
+        assert_eq!(*fa, m.forward_frozen(FreezeLevel::Moderate, &a).unwrap());
+        assert_eq!(*fb, m.forward_frozen(FreezeLevel::Moderate, &b).unwrap());
+        assert_eq!(registry.stats().misses, 2);
+    }
+
+    #[test]
+    fn checksum_strides_and_pins_the_last_row_for_tall_matrices() {
+        // 40 rows → stride ⌈40/16⌉ = 3: rows 0, 3, …, 39 are sampled. The
+        // last row is always included even when the stride skips it.
+        let rows = 40;
+        let base =
+            Matrix::from_vec(rows, 2, (0..rows * 2).map(|v| v as f32 * 0.5).collect()).unwrap();
+        let mut last_changed = base.clone();
+        last_changed.set(rows - 1, 1, -7.0);
+        assert_ne!(source_checksum(&base), source_checksum(&last_changed));
+        let mut sampled_changed = base.clone();
+        sampled_changed.set(3, 0, -7.0);
+        assert_ne!(source_checksum(&base), source_checksum(&sampled_changed));
+    }
+
+    #[test]
+    fn registry_dedups_identical_shards_across_handles() {
+        // Two logical clients holding byte-identical copies of one shard
+        // resolve to the same allocation: one build, then hits.
+        let registry = CacheRegistry::new();
+        let client_a = FeatureCache::shared(registry.clone());
+        let client_b = FeatureCache::shared(registry.clone());
+        let m = model(1);
+        let copy_a = features();
+        let copy_b = features();
+        let fa = client_a
+            .get_or_build(&m, FreezeLevel::Moderate, &copy_a)
+            .unwrap();
+        let fb = client_b
+            .get_or_build(&m, FreezeLevel::Moderate, &copy_b)
+            .unwrap();
+        assert!(Arc::ptr_eq(&fa, &fb), "same shard must share one entry");
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_rebuilds_bit_identically() {
+        let m = model(1);
+        let freeze = FreezeLevel::Moderate;
+        let shard = |offset: f32| {
+            Matrix::from_vec(
+                6,
+                5,
+                (0..30).map(|v| (v % 7) as f32 * 0.25 - offset).collect(),
+            )
+            .unwrap()
+        };
+        let (a, b, c) = (shard(0.5), shard(0.25), shard(0.75));
+        let entry_bytes = matrix_bytes(&m.forward_frozen(freeze, &a).unwrap());
+        let registry = CacheRegistry::with_budget(2 * entry_bytes);
+        assert_eq!(registry.budget_bytes(), Some(2 * entry_bytes));
+
+        let built_a = registry.get_or_build(&m, freeze, &a).unwrap();
+        registry.get_or_build(&m, freeze, &b).unwrap();
+        // Touch `a` so `b` is the least recently used…
+        registry.get_or_build(&m, freeze, &a).unwrap();
+        // …then inserting `c` must evict `b`, not `a`.
+        registry.get_or_build(&m, freeze, &c).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.peak_bytes <= 2 * entry_bytes, "peak within budget");
+        let again_a = registry.get_or_build(&m, freeze, &a).unwrap();
+        assert!(Arc::ptr_eq(&built_a, &again_a), "`a` survived the eviction");
+
+        // The evicted entry rebuilds bit-identically on its next access.
+        let rebuilt_b = registry.get_or_build(&m, freeze, &b).unwrap();
+        let reference = m.forward_frozen(freeze, &b).unwrap();
+        let as_bits = |x: &Matrix| x.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(as_bits(&rebuilt_b), as_bits(&reference));
+        let stats = registry.stats();
+        assert_eq!(stats.evictions, 2, "rebuilding `b` evicted the LRU again");
+        assert!(stats.current_bytes <= 2 * entry_bytes);
+    }
+
+    #[test]
+    fn oversized_entries_are_served_but_never_retained() {
+        let m = model(1);
+        let freeze = FreezeLevel::Moderate;
+        let x = features();
+        let entry_bytes = matrix_bytes(&m.forward_frozen(freeze, &x).unwrap());
+        let registry = CacheRegistry::with_budget(entry_bytes - 1);
+        let first = registry.get_or_build(&m, freeze, &x).unwrap();
+        assert_eq!(*first, m.forward_frozen(freeze, &x).unwrap());
+        assert!(registry.is_empty(), "oversized entry must not be stored");
+        let second = registry.get_or_build(&m, freeze, &x).unwrap();
+        assert!(!Arc::ptr_eq(&first, &second), "nothing cached to hit");
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        assert_eq!(stats.peak_bytes, 0, "peak never exceeded the budget");
+    }
+
+    #[test]
+    fn stats_deltas_and_accumulation() {
+        let registry = CacheRegistry::new();
+        let m = model(1);
+        let x = features();
+        let before = registry.stats();
+        registry
+            .get_or_build(&m, FreezeLevel::Moderate, &x)
+            .unwrap();
+        registry
+            .get_or_build(&m, FreezeLevel::Moderate, &x)
+            .unwrap();
+        let after = registry.stats();
+        let delta = after.delta_since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.evictions), (1, 1, 0));
+        assert_eq!(delta.peak_bytes, after.peak_bytes);
+
+        let mut total = CacheStats::default();
+        total.accumulate(&after);
+        total.accumulate(&after);
+        assert_eq!(total.hits, 2 * after.hits);
+        assert_eq!(total.peak_bytes, 2 * after.peak_bytes);
+
+        // clear() drops content but keeps the history counters and peak.
+        registry.clear();
+        let cleared = registry.stats();
+        assert_eq!(cleared.entries, 0);
+        assert_eq!(cleared.current_bytes, 0);
+        assert_eq!(cleared.misses, after.misses);
+        assert_eq!(cleared.peak_bytes, after.peak_bytes);
+    }
+
+    #[test]
+    fn cache_scope_names() {
+        assert_eq!(CacheScope::default(), CacheScope::Shared);
+        assert_eq!(CacheScope::Shared.short_name(), "shared");
+        assert_eq!(CacheScope::PerClient.short_name(), "per-client");
     }
 }

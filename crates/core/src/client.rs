@@ -41,7 +41,7 @@ pub struct ClientUpdate {
     pub cached_compute_seconds: f64,
 }
 
-/// A federated client holding a private shard of data.
+/// A federated client holding a (possibly shared) shard of data.
 ///
 /// A `Client` is stateless between rounds apart from its dataset and its
 /// [`FeatureCache`]: every round it downloads the current global trainable
@@ -49,22 +49,29 @@ pub struct ClientUpdate {
 /// — matching the paper's setting where the momentum/optimiser state is not
 /// carried across rounds. The feature cache is pure memoisation of the
 /// (round-invariant) frozen-prefix activations, keyed by backbone
-/// fingerprint, so it never alters results; clones share it.
+/// fingerprint and source checksum, so it never alters results; clones
+/// share it. The shard lives behind an `Arc` so a *logical client pool*
+/// (many simulated clients over few physical shards — see
+/// [`crate::simulation::ClientPool`]) holds each distinct shard once.
 #[derive(Debug, Clone)]
 pub struct Client {
     id: usize,
-    data: Dataset,
+    data: Arc<Dataset>,
     cache: FeatureCache,
 }
 
 impl Client {
-    /// Creates a client with the given id and private data shard.
+    /// Creates a client owning its private data shard and a private cache.
     pub fn new(id: usize, data: Dataset) -> Self {
-        Client {
-            id,
-            data,
-            cache: FeatureCache::new(),
-        }
+        Client::from_shard(id, Arc::new(data), FeatureCache::new())
+    }
+
+    /// Creates a client over a shared physical shard and an explicit cache
+    /// handle — the constructor logical client pools use: clients of the
+    /// same shard share the `Arc` (one copy of the data in memory) and,
+    /// with [`FeatureCache::shared`], one registry of boundary activations.
+    pub fn from_shard(id: usize, data: Arc<Dataset>, cache: FeatureCache) -> Self {
+        Client { id, data, cache }
     }
 
     /// The client id.
@@ -72,8 +79,14 @@ impl Client {
         self.id
     }
 
-    /// The client's private dataset.
+    /// The client's dataset.
     pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The shared handle onto the client's physical shard (clients of one
+    /// shard in a logical pool return the same allocation).
+    pub fn shard(&self) -> &Arc<Dataset> {
         &self.data
     }
 
@@ -404,6 +417,38 @@ mod tests {
             full.cached_compute_seconds.to_bits(),
             full.compute_seconds.to_bits()
         );
+    }
+
+    #[test]
+    fn clients_sharing_a_shard_and_registry_produce_identical_updates() {
+        use crate::cache::CacheRegistry;
+        let shard = Arc::new(client_dataset(30, 9));
+        let registry = CacheRegistry::new();
+        let a = Client::from_shard(
+            7,
+            Arc::clone(&shard),
+            FeatureCache::shared(registry.clone()),
+        );
+        let b = Client::from_shard(
+            7,
+            Arc::clone(&shard),
+            FeatureCache::shared(registry.clone()),
+        );
+        assert!(Arc::ptr_eq(a.shard(), b.shard()), "one copy of the data");
+        let model = global_model();
+        let config =
+            quick_config()
+                .with_feature_cache(true)
+                .with_selection(SelectionStrategy::Entropy {
+                    fraction: 0.5,
+                    temperature: 0.1,
+                });
+        let ua = a.local_update(&model, &config, 0).unwrap();
+        let ub = b.local_update(&model, &config, 0).unwrap();
+        assert_eq!(ua, ub, "same id, shard and model ⇒ same update");
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 1, "the second client hits the shared entry");
+        assert!(stats.hits >= 1);
     }
 
     #[test]

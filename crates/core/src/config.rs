@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::cache::CacheScope;
 use crate::device::HeterogeneityModel;
 use crate::executor::ExecutionBackend;
 use crate::selection::SelectionStrategy;
@@ -83,6 +84,30 @@ pub struct FlConfig {
     /// scale the client pool. Has no effect at [`FreezeLevel::Full`]
     /// (there is no frozen prefix to cache).
     pub feature_cache: bool,
+    /// Whose cache clients use when [`FlConfig::feature_cache`] is on:
+    /// [`CacheScope::Shared`] (the default) gives every client a handle
+    /// onto one run-wide [`crate::cache::CacheRegistry`], so logical
+    /// clients holding the same shard share one entry and cache memory
+    /// scales with distinct shards; [`CacheScope::PerClient`] keeps a
+    /// private unbounded cache per client (the pre-registry behaviour, kept
+    /// as the bit-identity baseline). Histories are identical under either
+    /// scope — only memory and the cache counters differ.
+    pub cache_scope: CacheScope,
+    /// Byte budget of the shared [`crate::cache::CacheRegistry`], enforced
+    /// by least-recently-used eviction: peak cache bytes never exceed it,
+    /// at the price of rebuilding evicted entries on their next access
+    /// (results are unchanged — eviction only forces recomputation of the
+    /// same values). `None` (the default) means unbounded. Only meaningful
+    /// with [`CacheScope::Shared`]; rejected by validation under
+    /// [`CacheScope::PerClient`].
+    pub cache_budget_bytes: Option<usize>,
+    /// Size of the *logical* client pool: `Some(n)` simulates `n` clients
+    /// mapped round-robin onto the federated dataset's physical shards
+    /// (logical client `i` holds shard `i % num_shards`), so the simulated
+    /// cohort size scales independently of data (and, with the shared
+    /// cache registry, of memory). `None` (the default) runs one client
+    /// per physical shard, exactly as before.
+    pub logical_clients: Option<usize>,
     /// Master seed controlling every stochastic component of the run.
     pub seed: u64,
     /// How client updates are executed each round. `Sequential` and
@@ -109,6 +134,9 @@ impl Default for FlConfig {
             heterogeneity: HeterogeneityModel::uniform(),
             deadline_seconds: f64::INFINITY,
             feature_cache: false,
+            cache_scope: CacheScope::Shared,
+            cache_budget_bytes: None,
+            logical_clients: None,
             seed: 0,
             execution: ExecutionBackend::Parallel,
         }
@@ -177,9 +205,28 @@ impl FlConfig {
         self
     }
 
-    /// Enables or disables the per-client frozen-feature cache.
+    /// Enables or disables the frozen-feature cache.
     pub fn with_feature_cache(mut self, enabled: bool) -> Self {
         self.feature_cache = enabled;
+        self
+    }
+
+    /// Selects whose cache clients use (shared registry vs per-client).
+    pub fn with_cache_scope(mut self, scope: CacheScope) -> Self {
+        self.cache_scope = scope;
+        self
+    }
+
+    /// Caps the shared cache registry at `bytes`, enforced by LRU eviction.
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.cache_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Simulates a pool of `n` logical clients mapped round-robin onto the
+    /// dataset's physical shards.
+    pub fn with_logical_clients(mut self, n: usize) -> Self {
+        self.logical_clients = Some(n);
         self
     }
 
@@ -259,6 +306,25 @@ impl FlConfig {
                      leave deadline_seconds infinite (got {})",
                     self.deadline_seconds
                 ),
+            });
+        }
+        if self.logical_clients == Some(0) {
+            return Err(FlError::InvalidConfig {
+                what: "logical_clients must be non-zero when set".into(),
+            });
+        }
+        if self.cache_budget_bytes == Some(0) {
+            return Err(FlError::InvalidConfig {
+                what: "cache_budget_bytes must be non-zero when set \
+                       (disable the cache instead of budgeting it to zero)"
+                    .into(),
+            });
+        }
+        if self.cache_budget_bytes.is_some() && self.cache_scope == CacheScope::PerClient {
+            return Err(FlError::InvalidConfig {
+                what: "cache_budget_bytes is a property of the shared registry; \
+                       use CacheScope::Shared"
+                    .into(),
             });
         }
         self.sgd.validate().map_err(FlError::from)?;
@@ -389,6 +455,38 @@ mod tests {
         let c = FlConfig::default().with_feature_cache(true);
         assert!(c.feature_cache);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_registry_and_logical_pool_knobs_apply_and_validate() {
+        let c = FlConfig::default();
+        assert_eq!(c.cache_scope, CacheScope::Shared);
+        assert_eq!(c.cache_budget_bytes, None);
+        assert_eq!(c.logical_clients, None);
+
+        let c = FlConfig::default()
+            .with_feature_cache(true)
+            .with_cache_budget(1 << 20)
+            .with_logical_clients(10_000);
+        assert_eq!(c.cache_budget_bytes, Some(1 << 20));
+        assert_eq!(c.logical_clients, Some(10_000));
+        assert!(c.validate().is_ok());
+
+        let per_client = FlConfig::default().with_cache_scope(CacheScope::PerClient);
+        assert!(per_client.validate().is_ok());
+
+        // Zero logical clients and zero budgets are configuration mistakes.
+        assert!(FlConfig::default()
+            .with_logical_clients(0)
+            .validate()
+            .is_err());
+        assert!(FlConfig::default().with_cache_budget(0).validate().is_err());
+        // A budget is a property of the shared registry.
+        assert!(FlConfig::default()
+            .with_cache_scope(CacheScope::PerClient)
+            .with_cache_budget(1024)
+            .validate()
+            .is_err());
     }
 
     #[test]

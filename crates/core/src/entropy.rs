@@ -72,14 +72,20 @@ fn validate_entropy_inputs(features: &Matrix, temperature: f32) -> Result<()> {
 /// Returns the indices of `entropies` sorted by decreasing entropy
 /// (most-uncertain first). Ties are broken by the original index so the
 /// ordering is fully deterministic.
+///
+/// The comparison is [`f32::total_cmp`], a strict total order, so
+/// non-finite entropies (possible when logits overflow to `±∞` or `NaN`)
+/// cannot corrupt the sort: the previous
+/// `partial_cmp(..).unwrap_or(Equal)` fallback is **not** a strict weak
+/// ordering in the presence of `NaN`, and `sort_by` may then produce an
+/// arbitrary (even input-order-dependent) permutation. The total order is
+/// sign-aware: positive-sign `NaN` ranks above `+∞` (first in this
+/// descending ranking) and negative-sign `NaN` below `−∞` (last). Where a
+/// corrupted score lands is incidental; the contract is that it lands in
+/// the *same place every time*.
 pub fn rank_by_entropy(entropies: &[f32]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..entropies.len()).collect();
-    order.sort_by(|&a, &b| {
-        entropies[b]
-            .partial_cmp(&entropies[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| entropies[b].total_cmp(&entropies[a]).then(a.cmp(&b)));
     order
 }
 
@@ -226,6 +232,26 @@ mod tests {
     }
 
     #[test]
+    fn histogram_tail_fraction_edge_cases() {
+        // tail_bins = 0: an empty tail holds no mass.
+        let entropies = vec![0.0, 0.4, 0.8, 1.2, 1.6];
+        let hist = EntropyHistogram::from_entropies(&entropies, 5, 4).unwrap();
+        assert_eq!(hist.high_entropy_fraction(0), 0.0);
+        // tail_bins > bins: clamped to the whole histogram, fraction 1.
+        assert!((hist.high_entropy_fraction(10) - 1.0).abs() < 1e-12);
+        assert_eq!(
+            hist.high_entropy_fraction(4),
+            hist.high_entropy_fraction(400)
+        );
+        // An empty histogram (no samples) has no tail at any width.
+        let empty = EntropyHistogram::from_entropies(&[], 5, 4).unwrap();
+        assert_eq!(empty.counts.iter().sum::<usize>(), 0);
+        for tail in [0, 1, 4, 9] {
+            assert_eq!(empty.high_entropy_fraction(tail), 0.0);
+        }
+    }
+
+    #[test]
     fn histogram_validation() {
         assert!(EntropyHistogram::from_entropies(&[0.1], 5, 0).is_err());
         assert!(EntropyHistogram::from_entropies(&[0.1], 1, 4).is_err());
@@ -273,10 +299,38 @@ mod tests {
         // ascending order between the strictly larger and smaller values.
         let mixed = vec![0.5, 0.9, 0.5, 1.2, 0.5, 0.1];
         assert_eq!(rank_by_entropy(&mixed), vec![3, 1, 0, 2, 4, 5]);
-        // NaN entropies compare as equal (no panic) and fall back to index
-        // order within their run.
+        // Equal NaN bit patterns are exact ties under the total order and
+        // fall back to index order.
         let with_nan = vec![f32::NAN, f32::NAN];
         assert_eq!(rank_by_entropy(&with_nan), vec![0, 1]);
+    }
+
+    #[test]
+    fn non_finite_entropies_rank_deterministically() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` is not a strict
+        // weak ordering when a NaN is present (NaN "equals" everything while
+        // the finite values still compare), so the selection order became
+        // arbitrary. Under `total_cmp`, descending order is
+        // NaN > +inf > finite > -inf, with index tie-breaks.
+        let entropies = vec![
+            1.0,
+            f32::NAN,
+            0.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ];
+        assert_eq!(rank_by_entropy(&entropies), vec![1, 5, 3, 0, 2, 4]);
+        // Negative-sign NaN sits at the other end of the total order,
+        // below -inf — still a fixed, deterministic position.
+        let negative_nan = vec![-f32::NAN, 0.0, f32::NEG_INFINITY];
+        assert_eq!(rank_by_entropy(&negative_nan), vec![1, 2, 0]);
+        // The ranking is a permutation and is stable across repeated calls.
+        let again = rank_by_entropy(&entropies);
+        assert_eq!(again, vec![1, 5, 3, 0, 2, 4]);
+        let mut sorted = again;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..entropies.len()).collect::<Vec<_>>());
     }
 
     #[test]

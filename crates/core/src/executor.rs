@@ -38,11 +38,13 @@
 //!
 //! Every backend passes the [`FlConfig`] through to the clients untouched,
 //! so the [`FlConfig::feature_cache`] knob behaves identically under each:
-//! a client's [`crate::cache::FeatureCache`] is keyed by the frozen
-//! backbone's fingerprint, which is invariant across rounds *and* across
-//! the async backend's model versions (only `θ` differs), so cached rounds
-//! replay uncached histories bit for bit on all four executors — pinned by
-//! `tests/feature_cache_e2e.rs`.
+//! cache entries (whether in a client-private [`crate::cache::FeatureCache`]
+//! or the run-wide shared [`crate::cache::CacheRegistry`]) are keyed by the
+//! frozen backbone's fingerprint and the shard's checksum, both invariant
+//! across rounds *and* across the async backend's model versions (only `θ`
+//! differs), so cached rounds replay uncached histories bit for bit on all
+//! four executors — pinned by `tests/feature_cache_e2e.rs` and
+//! `tests/logical_pool_e2e.rs`.
 
 use crate::client::{Client, ClientUpdate};
 use crate::config::FlConfig;

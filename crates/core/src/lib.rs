@@ -27,6 +27,13 @@
 //!   [`Server::aggregate_stale`] discounts stale updates; `max_staleness =
 //!   0` (with no offline probability) reproduces the synchronous backends
 //!   bit for bit.
+//! * **Logical client pools & shard-deduplicated caching** — a
+//!   [`simulation::ClientPool`] maps `N` simulated clients onto `M ≪ N`
+//!   physical shards, and a shared [`cache::CacheRegistry`] (keyed by
+//!   source checksum, backbone fingerprint and freeze level, with an
+//!   optional LRU byte budget) holds each shard's frozen-prefix boundary
+//!   activations **once**, so both data and cache memory scale with shards
+//!   rather than with the simulated cohort size.
 //!
 //! ## Example
 //!
@@ -81,7 +88,7 @@ pub mod selection;
 pub mod server;
 pub mod simulation;
 
-pub use cache::FeatureCache;
+pub use cache::{CacheRegistry, CacheScope, CacheStats, FeatureCache};
 pub use client::{Client, ClientUpdate};
 pub use config::{FlConfig, LocalAlgorithm};
 pub use cost::CostModel;
@@ -96,7 +103,7 @@ pub use metrics::{RoundRecord, RunResult};
 pub use participation::ParticipationModel;
 pub use selection::SelectionStrategy;
 pub use server::Server;
-pub use simulation::Simulation;
+pub use simulation::{ClientPool, Simulation};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, FlError>;

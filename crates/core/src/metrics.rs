@@ -55,6 +55,39 @@ pub struct RoundRecord {
     /// Cumulative simulated wall-clock seconds up to and including this
     /// round.
     pub cumulative_wall_seconds: f64,
+    /// Feature-cache lookups served from an existing entry during this
+    /// round, summed over the run's cache registries. Zero when
+    /// [`crate::FlConfig::feature_cache`] is off.
+    pub cache_hits: usize,
+    /// Feature-cache lookups that had to build the activations during this
+    /// round.
+    pub cache_misses: usize,
+    /// Cache entries evicted during this round (byte-budget LRU evictions
+    /// plus backbone-change invalidations).
+    pub cache_evictions: usize,
+    /// Peak bytes held by the run's cache registries up to and including
+    /// this round — never exceeds
+    /// [`crate::FlConfig::cache_budget_bytes`] when a budget is set.
+    pub cache_peak_bytes: usize,
+}
+
+impl RoundRecord {
+    /// This record with the cache counters zeroed — the **cache-invariant
+    /// view**: every remaining field must be bit-identical whichever way
+    /// [`crate::FlConfig::feature_cache`], the cache scope or the byte
+    /// budget are set (the cache only changes how frozen activations are
+    /// obtained, never their values). The counters themselves legitimately
+    /// differ (off = all zero, shared vs per-client = different hit
+    /// patterns), which is why equality contracts compare this view.
+    pub fn without_cache_counters(&self) -> RoundRecord {
+        RoundRecord {
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_peak_bytes: 0,
+            ..self.clone()
+        }
+    }
 }
 
 /// The result of a complete federated-learning run.
@@ -203,6 +236,43 @@ impl RunResult {
         f64::from(self.best_accuracy()) * 100.0 / seconds
     }
 
+    /// Total feature-cache hits over the whole run.
+    pub fn total_cache_hits(&self) -> usize {
+        self.rounds.iter().map(|r| r.cache_hits).sum()
+    }
+
+    /// Total feature-cache misses (activation builds) over the whole run.
+    pub fn total_cache_misses(&self) -> usize {
+        self.rounds.iter().map(|r| r.cache_misses).sum()
+    }
+
+    /// Total feature-cache evictions over the whole run.
+    pub fn total_cache_evictions(&self) -> usize {
+        self.rounds.iter().map(|r| r.cache_evictions).sum()
+    }
+
+    /// Peak bytes the run's feature caches ever held (the per-round peak is
+    /// monotone, so this is the final round's value).
+    pub fn peak_cache_bytes(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.cache_peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The per-round history with cache counters zeroed (see
+    /// [`RoundRecord::without_cache_counters`]): the view that must be
+    /// **bit-identical** across cache off/on, shared/per-client scope and
+    /// any byte budget — the comparison `tests/feature_cache_e2e.rs` and
+    /// `tests/logical_pool_e2e.rs` pin.
+    pub fn learning_history(&self) -> Vec<RoundRecord> {
+        self.rounds
+            .iter()
+            .map(RoundRecord::without_cache_counters)
+            .collect()
+    }
+
     /// The test-accuracy learning curve, one entry per round.
     pub fn accuracy_curve(&self) -> Vec<f32> {
         self.rounds.iter().map(|r| r.test_accuracy).collect()
@@ -251,6 +321,10 @@ mod tests {
             cumulative_client_seconds_cached: cumulative / 2.0,
             round_wall_seconds: 5.0,
             cumulative_wall_seconds: 5.0 * round as f64,
+            cache_hits: 8,
+            cache_misses: 2,
+            cache_evictions: 1,
+            cache_peak_bytes: 4096 * round,
         }
     }
 
@@ -328,6 +402,40 @@ mod tests {
         assert_eq!(empty.max_update_staleness(), 0);
         assert_eq!(empty.stale_update_count(), 0);
         assert_eq!(empty.mean_update_staleness(), 0.0);
+    }
+
+    #[test]
+    fn cache_counters_aggregate_and_vanish_from_the_learning_history() {
+        let r = run();
+        assert_eq!(r.total_cache_hits(), 24);
+        assert_eq!(r.total_cache_misses(), 6);
+        assert_eq!(r.total_cache_evictions(), 3);
+        assert_eq!(r.peak_cache_bytes(), 4096 * 3, "peak is the running max");
+
+        // The learning history zeroes exactly the cache counters and keeps
+        // everything else bit-for-bit.
+        let history = r.learning_history();
+        assert_eq!(history.len(), r.rounds.len());
+        for (bare, full) in history.iter().zip(&r.rounds) {
+            assert_eq!(bare.cache_hits, 0);
+            assert_eq!(bare.cache_misses, 0);
+            assert_eq!(bare.cache_evictions, 0);
+            assert_eq!(bare.cache_peak_bytes, 0);
+            assert_eq!(bare.test_accuracy, full.test_accuracy);
+            assert_eq!(bare.round_client_seconds, full.round_client_seconds);
+            assert_eq!(bare.update_staleness, full.update_staleness);
+        }
+        // Two runs differing only in cache counters share a history.
+        let mut other = r.clone();
+        other.rounds[1].cache_hits = 0;
+        other.rounds[1].cache_peak_bytes = 1;
+        assert_ne!(other.rounds, r.rounds);
+        assert_eq!(other.learning_history(), r.learning_history());
+
+        let empty = RunResult::new("empty", vec![]);
+        assert_eq!(empty.total_cache_hits(), 0);
+        assert_eq!(empty.peak_cache_bytes(), 0);
+        assert!(empty.learning_history().is_empty());
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! The synchronous federated-learning round loop (paper Algorithm 1).
+//! The synchronous federated-learning round loop (paper Algorithm 1) and
+//! the logical client pool it trains.
 
+use crate::cache::{CacheRegistry, CacheScope, CacheStats, FeatureCache};
 use crate::client::Client;
 use crate::comm::round_traffic;
 use crate::config::FlConfig;
@@ -7,8 +9,120 @@ use crate::metrics::{RoundRecord, RunResult};
 use crate::participation::ParticipationModel;
 use crate::server::Server;
 use crate::{FlError, Result};
-use fedft_data::FederatedDataset;
+use fedft_data::{Dataset, FederatedDataset};
 use fedft_nn::BlockNet;
+use std::sync::Arc;
+
+/// The run's client population: `N` logical clients mapped onto the
+/// federated dataset's `M` physical shards (logical client `i` holds shard
+/// `i % M`), each distinct shard held **once** behind an `Arc`.
+///
+/// With [`FlConfig::logical_clients`] unset this is exactly one client per
+/// shard, as before. With `N ≫ M` it simulates a large cohort over a small
+/// corpus — the regime where per-client feature caches would multiply the
+/// same boundary activations `N/M` times. Under
+/// [`CacheScope::Shared`] the pool therefore hands every client a handle
+/// onto **one** [`CacheRegistry`] (budgeted by
+/// [`FlConfig::cache_budget_bytes`]), so cache memory scales with `M`;
+/// under [`CacheScope::PerClient`] each client keeps a private unbounded
+/// cache — the baseline the shared registry is pinned bit-identical
+/// against.
+#[derive(Debug, Clone)]
+pub struct ClientPool {
+    clients: Vec<Client>,
+    registries: Vec<CacheRegistry>,
+    physical_shards: usize,
+}
+
+impl ClientPool {
+    /// Builds the pool described by `config` over `data`'s shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for an invalid pool description
+    /// (zero logical clients, a budget outside the shared scope).
+    pub fn build(data: &FederatedDataset, config: &FlConfig) -> Result<ClientPool> {
+        let physical_shards = data.num_clients();
+        let logical = config.logical_clients.unwrap_or(physical_shards);
+        if logical == 0 {
+            return Err(FlError::InvalidConfig {
+                what: "logical_clients must be non-zero when set".into(),
+            });
+        }
+        // Re-checked here (not only in `FlConfig::validate`) so a pool
+        // built directly cannot silently ignore a byte budget: per-client
+        // caches are unbounded, so accepting a budget would let the caller
+        // believe a memory cap is enforced when it is not.
+        if config.cache_budget_bytes.is_some() && config.cache_scope == CacheScope::PerClient {
+            return Err(FlError::InvalidConfig {
+                what: "cache_budget_bytes is a property of the shared registry; \
+                       use CacheScope::Shared"
+                    .into(),
+            });
+        }
+        let shards: Vec<Arc<Dataset>> = data.clients().iter().cloned().map(Arc::new).collect();
+        let (clients, registries) = match config.cache_scope {
+            CacheScope::Shared => {
+                let registry = match config.cache_budget_bytes {
+                    Some(bytes) => CacheRegistry::with_budget(bytes),
+                    None => CacheRegistry::new(),
+                };
+                let clients = (0..logical)
+                    .map(|i| {
+                        Client::from_shard(
+                            i,
+                            Arc::clone(&shards[i % physical_shards]),
+                            FeatureCache::shared(registry.clone()),
+                        )
+                    })
+                    .collect();
+                (clients, vec![registry])
+            }
+            CacheScope::PerClient => {
+                let mut registries = Vec::with_capacity(logical);
+                let clients = (0..logical)
+                    .map(|i| {
+                        let cache = FeatureCache::new();
+                        registries.push(cache.registry().clone());
+                        Client::from_shard(i, Arc::clone(&shards[i % physical_shards]), cache)
+                    })
+                    .collect();
+                (clients, registries)
+            }
+        };
+        Ok(ClientPool {
+            clients,
+            registries,
+            physical_shards,
+        })
+    }
+
+    /// The pool's clients, in logical-id order.
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Number of logical clients.
+    pub fn num_logical(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of distinct physical shards backing the pool.
+    pub fn num_physical_shards(&self) -> usize {
+        self.physical_shards
+    }
+
+    /// Cache counters summed over the pool's registries (one registry under
+    /// [`CacheScope::Shared`], one per client under
+    /// [`CacheScope::PerClient`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for registry in &self.registries {
+            total.accumulate(&registry.stats());
+        }
+        total
+    }
+}
 
 /// Runs a complete federated-learning simulation.
 ///
@@ -71,12 +185,8 @@ impl Simulation {
             }
         }
 
-        let clients: Vec<Client> = data
-            .clients()
-            .iter()
-            .enumerate()
-            .map(|(k, shard)| Client::new(k, shard.clone()))
-            .collect();
+        let pool = ClientPool::build(data, &self.config)?;
+        let clients = pool.clients();
         let participation = ParticipationModel::new(self.config.participation)?;
         let server = Server::new();
         let executor = self.config.execution.executor();
@@ -94,6 +204,7 @@ impl Simulation {
         let profiles: Vec<_> = (0..clients.len())
             .map(|id| hetero.profile_for(id, self.config.seed))
             .collect();
+        let mut cache_stats_before = pool.cache_stats();
 
         for round in 0..self.config.rounds {
             let participant_ids =
@@ -160,6 +271,12 @@ impl Simulation {
                 }
             };
             cumulative_wall += round_wall_seconds;
+            // Cache activity of this round: monotone counters differenced
+            // against the previous snapshot, the peak read as-is (it is a
+            // running maximum, so per-round peaks are monotone too).
+            let cache_stats = pool.cache_stats();
+            let cache_round = cache_stats.delta_since(&cache_stats_before);
+            cache_stats_before = cache_stats;
 
             rounds.push(RoundRecord {
                 round: round + 1,
@@ -177,6 +294,10 @@ impl Simulation {
                 cumulative_client_seconds_cached: cumulative_seconds_cached,
                 round_wall_seconds,
                 cumulative_wall_seconds: cumulative_wall,
+                cache_hits: cache_round.hits,
+                cache_misses: cache_round.misses,
+                cache_evictions: cache_round.evictions,
+                cache_peak_bytes: cache_round.peak_bytes,
             });
         }
         Ok(RunResult::new(label, rounds))
@@ -233,6 +354,99 @@ mod tests {
             .with_local_epochs(1)
             .with_batch_size(16)
             .serial()
+    }
+
+    #[test]
+    fn client_pool_maps_logical_clients_onto_shards_round_robin() {
+        let (fed, _) = tiny_setup(3);
+        let config = quick_config(1)
+            .with_logical_clients(10)
+            .with_feature_cache(true);
+        let pool = ClientPool::build(&fed, &config).unwrap();
+        assert_eq!(pool.num_logical(), 10);
+        assert_eq!(pool.num_physical_shards(), 3);
+        assert_eq!(pool.clients().len(), 10);
+        for (i, client) in pool.clients().iter().enumerate() {
+            assert_eq!(client.id(), i);
+            // Logical client i holds shard i % 3 — the *same allocation*,
+            // not a copy.
+            assert!(std::sync::Arc::ptr_eq(
+                client.shard(),
+                pool.clients()[i % 3].shard()
+            ));
+        }
+        // Shared scope: every client reads one registry.
+        let a = pool.clients()[0].feature_cache().registry().clone();
+        let stats_before = pool.cache_stats();
+        assert_eq!(stats_before, a.stats());
+
+        // Without the knob the pool is one client per shard.
+        let plain = ClientPool::build(&fed, &quick_config(1)).unwrap();
+        assert_eq!(plain.num_logical(), 3);
+    }
+
+    #[test]
+    fn client_pool_per_client_scope_keeps_private_registries() {
+        let (fed, model) = tiny_setup(2);
+        let config = quick_config(1)
+            .with_logical_clients(4)
+            .with_feature_cache(true)
+            .with_cache_scope(crate::cache::CacheScope::PerClient);
+        let pool = ClientPool::build(&fed, &config).unwrap();
+        // Same shard, but each client builds its own entry: no dedup.
+        for client in pool.clients() {
+            client
+                .feature_cache()
+                .get_or_build(&model, config.freeze, client.data().features())
+                .unwrap();
+        }
+        let stats = pool.cache_stats();
+        assert_eq!(stats.misses, 4, "per-client scope cannot dedup");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 4);
+
+        let shared = ClientPool::build(&fed, &quick_config(1).with_logical_clients(4)).unwrap();
+        for client in shared.clients() {
+            client
+                .feature_cache()
+                .get_or_build(&model, config.freeze, client.data().features())
+                .unwrap();
+        }
+        let shared_stats = shared.cache_stats();
+        assert_eq!(
+            shared_stats.misses, 2,
+            "shared scope builds once per distinct shard"
+        );
+        // A byte budget cannot ride along with per-client caches — the
+        // pool rejects it even when `FlConfig::validate` was bypassed.
+        let mut bad = quick_config(1).with_cache_scope(crate::cache::CacheScope::PerClient);
+        bad.cache_budget_bytes = Some(1024);
+        assert!(ClientPool::build(&fed, &bad).is_err());
+        assert_eq!(shared_stats.hits, 2);
+        assert!(
+            shared_stats.peak_bytes < stats.peak_bytes,
+            "dedup must shrink peak bytes ({} vs {})",
+            shared_stats.peak_bytes,
+            stats.peak_bytes
+        );
+    }
+
+    #[test]
+    fn logical_pool_run_scales_participants_independently_of_shards() {
+        let (fed, model) = tiny_setup(3);
+        let config = quick_config(2)
+            .with_logical_clients(12)
+            .with_participation(0.5)
+            .with_feature_cache(true);
+        let result = Simulation::new(config).unwrap().run(&fed, &model).unwrap();
+        // 50% of 12 logical clients, although only 3 physical shards exist.
+        assert!(result.rounds.iter().all(|r| r.participants == 6));
+        assert!(
+            result.total_cache_misses() <= 3,
+            "at most one build per shard"
+        );
+        assert!(result.total_cache_hits() > 0);
+        assert!(result.peak_cache_bytes() > 0);
     }
 
     #[test]

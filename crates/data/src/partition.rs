@@ -79,13 +79,18 @@ pub fn dirichlet_partition(
             .collect();
         let mut assigned: usize = counts.iter().sum();
         // Distribute the remainder to the clients with the largest fractional
-        // parts (deterministic given the proportions).
+        // parts. `total_cmp` plus the explicit index tie-break makes this a
+        // strict total order — `partial_cmp(..).unwrap_or(Equal)` is not a
+        // strict weak ordering if a proportion is NaN, and exact fractional
+        // ties (common for small alpha, where proportions collapse to 0/1)
+        // previously left the winner to the sort algorithm's whims instead
+        // of pinning it, so shard assignment was not provably deterministic.
         let mut remainders: Vec<(usize, f64)> = proportions
             .iter()
             .enumerate()
             .map(|(i, &p)| (i, p * total as f64 - (p * total as f64).floor()))
             .collect();
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut cursor = 0;
         while assigned < total {
             counts[remainders[cursor % num_clients].0] += 1;
@@ -271,6 +276,45 @@ mod tests {
         );
         // With a huge alpha every client should see most classes.
         assert!(s_uniform.classes_per_client.iter().all(|&c| c >= 8));
+    }
+
+    #[test]
+    fn dirichlet_largest_remainder_assignment_is_pinned() {
+        // Regression for the largest-remainder sort: with
+        // `partial_cmp(..).unwrap_or(Equal)` and no index tie-break the
+        // winner of tied fractional parts depended on the sort algorithm,
+        // so shard assignment was not provably deterministic. The exact
+        // assignment below is pinned; any change to the remainder ordering
+        // (or an accidental reintroduction of the unstable comparator)
+        // shows up as a diff here.
+        let d = dataset(6, 3);
+        let shards = dirichlet_partition(&d, 4, 0.3, 11).unwrap();
+        assert_eq!(
+            shards,
+            vec![
+                vec![3, 9, 2, 14],
+                vec![4, 7, 13, 10, 1, 16],
+                vec![6, 0, 12, 15, 11, 5],
+                vec![8, 17],
+            ]
+        );
+        assert_is_partition(&shards, d.len());
+    }
+
+    #[test]
+    fn near_tied_remainders_assign_deterministically() {
+        // A huge alpha drives every proportion towards 1/k, so per-class
+        // remainders tie up to f64 noise — exactly the regime where the old
+        // comparator (no index tie-break) left the outcome to the sort
+        // algorithm. The assignment must be identical across runs and the
+        // resulting sizes are pinned.
+        let d = dataset(5, 2);
+        let a = dirichlet_partition(&d, 4, 1e12, 1).unwrap();
+        let b = dirichlet_partition(&d, 4, 1e12, 1).unwrap();
+        assert_eq!(a, b);
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 2, 2, 2]);
+        assert_is_partition(&a, d.len());
     }
 
     #[test]

@@ -40,8 +40,11 @@ fn quick(rounds: usize) -> FlConfig {
 }
 
 /// Runs `config` twice — cache off and cache on — and asserts bit-identical
-/// histories (RoundRecord derives PartialEq over every field, including the
-/// f32/f64 metrics, so `==` is an exact-bits comparison for finite values).
+/// learning histories (RoundRecord derives PartialEq over every field,
+/// including the f32/f64 metrics, so `==` is an exact-bits comparison for
+/// finite values; the cache hit/miss/eviction/peak counters are excluded by
+/// `learning_history()` since they *describe* the cache and legitimately
+/// differ between off and on).
 fn assert_cache_transparent(
     label: &str,
     config: FlConfig,
@@ -57,9 +60,13 @@ fn assert_cache_transparent(
         .run_labelled(label, fed, model)
         .unwrap();
     assert_eq!(
-        off.rounds, on.rounds,
+        off.learning_history(),
+        on.learning_history(),
         "{label}: cache-on history diverged from cache-off"
     );
+    // A cache-off run must never report cache activity.
+    assert_eq!(off.total_cache_hits() + off.total_cache_misses(), 0);
+    assert_eq!(off.peak_cache_bytes(), 0);
 }
 
 #[test]

@@ -1,0 +1,171 @@
+//! End-to-end contract of the logical client pool and the shared,
+//! byte-budgeted cache registry: a pool of N logical clients over M ≪ N
+//! physical shards must produce a learning history **bit-identical** to the
+//! same pool with per-client caches and with the cache off entirely —
+//! whatever the byte budget — while peak cache bytes stay (a) under the
+//! budget and (b) a factor ~N/M below what per-client caching holds.
+
+use fedft::core::{
+    CacheScope, ExecutionBackend, FlConfig, Method, RunResult, SelectionStrategy, Simulation,
+};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig, FreezeLevel};
+
+const SHARDS: usize = 6;
+const LOGICAL: usize = 120;
+
+fn setup() -> (FederatedDataset, BlockNet) {
+    let bundle = domains::cifar10_like()
+        .with_samples_per_class(12)
+        .with_test_samples_per_class(4)
+        .generate(5)
+        .unwrap();
+    let fed = FederatedDataset::partition(
+        &bundle.train,
+        bundle.test.clone(),
+        SHARDS,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        7,
+    )
+    .unwrap();
+    let model_cfg = BlockNetConfig::new(bundle.train.feature_dim(), 10).with_hidden(16, 16, 16);
+    (fed, BlockNet::new(&model_cfg, 3))
+}
+
+fn pool_config() -> FlConfig {
+    FlConfig::default()
+        .with_rounds(3)
+        .with_local_epochs(1)
+        .with_batch_size(16)
+        .with_logical_clients(LOGICAL)
+        .with_participation(0.1)
+        .with_selection(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1,
+        })
+        .serial()
+}
+
+fn run(label: &str, config: FlConfig, fed: &FederatedDataset, model: &BlockNet) -> RunResult {
+    Simulation::new(config)
+        .unwrap()
+        .run_labelled(label, fed, model)
+        .unwrap()
+}
+
+#[test]
+fn shared_registry_is_bit_identical_to_per_client_and_cache_off() {
+    let (fed, model) = setup();
+    let off = run("off", pool_config(), &fed, &model);
+    let per_client = run(
+        "per-client",
+        pool_config()
+            .with_feature_cache(true)
+            .with_cache_scope(CacheScope::PerClient),
+        &fed,
+        &model,
+    );
+    let shared = run(
+        "shared",
+        pool_config().with_feature_cache(true),
+        &fed,
+        &model,
+    );
+    assert_eq!(off.learning_history(), per_client.learning_history());
+    assert_eq!(off.learning_history(), shared.learning_history());
+
+    // Dedup: the shared registry builds at most one entry per distinct
+    // shard, while per-client caches build one per participating client.
+    assert!(shared.total_cache_misses() <= SHARDS);
+    assert!(per_client.total_cache_misses() > shared.total_cache_misses());
+    assert!(shared.total_cache_hits() > 0);
+    // Memory scales with shards, not with logical clients.
+    assert!(shared.peak_cache_bytes() < per_client.peak_cache_bytes());
+    // A cache-off run reports no cache activity at all.
+    assert_eq!(off.total_cache_hits() + off.total_cache_misses(), 0);
+    assert_eq!(off.peak_cache_bytes(), 0);
+}
+
+#[test]
+fn byte_budget_bounds_peak_and_preserves_the_history() {
+    let (fed, model) = setup();
+    let unbounded = run(
+        "unbounded",
+        pool_config().with_feature_cache(true),
+        &fed,
+        &model,
+    );
+    let full_bytes = unbounded.peak_cache_bytes();
+    assert!(full_bytes > 0);
+
+    // A budget of half the deduplicated working set forces LRU churn…
+    let budget = full_bytes / 2;
+    let budgeted = run(
+        "budgeted",
+        pool_config()
+            .with_feature_cache(true)
+            .with_cache_budget(budget),
+        &fed,
+        &model,
+    );
+    // …but the learning history is unchanged bit for bit,
+    assert_eq!(unbounded.learning_history(), budgeted.learning_history());
+    // the peak respects the budget in every round,
+    assert!(budgeted.peak_cache_bytes() <= budget);
+    for record in &budgeted.rounds {
+        assert!(record.cache_peak_bytes <= budget);
+    }
+    // and evictions (with the rebuilds they force) actually happened.
+    assert!(budgeted.total_cache_evictions() > 0);
+    assert!(budgeted.total_cache_misses() > unbounded.total_cache_misses());
+}
+
+#[test]
+fn pool_histories_hold_across_all_execution_backends() {
+    // The pool is orthogonal to scheduling: sequential, parallel, deadline
+    // (neutral knobs) and async(0) replay the same logical-pool history.
+    let (fed, model) = setup();
+    let base = pool_config()
+        .with_feature_cache(true)
+        .with_cache_budget(1 << 20);
+    let reference = run("seq", base.clone(), &fed, &model);
+    for backend in [
+        ExecutionBackend::Parallel,
+        ExecutionBackend::Deadline,
+        ExecutionBackend::Async { max_staleness: 0 },
+    ] {
+        let result = run(
+            backend.short_name(),
+            base.clone().with_execution(backend),
+            &fed,
+            &model,
+        );
+        assert_eq!(
+            reference.learning_history(),
+            result.learning_history(),
+            "{} diverged",
+            backend.short_name()
+        );
+    }
+}
+
+#[test]
+fn logical_pool_composes_with_the_paper_method_lineup() {
+    let (fed, model) = setup();
+    for method in [Method::FedAvg, Method::FedFtEds { pds: 0.5 }] {
+        let config = method.configure(pool_config());
+        let off = run("off", config.clone(), &fed, &model);
+        let on = run("on", config.with_feature_cache(true), &fed, &model);
+        assert_eq!(off.learning_history(), on.learning_history(), "{method:?}");
+        assert!(off.rounds.iter().all(|r| r.participants == LOGICAL / 10));
+    }
+    // FreezeLevel::Full has no frozen prefix: nothing is cached even with
+    // the registry on, and the history still matches.
+    let full = pool_config()
+        .with_freeze(FreezeLevel::Full)
+        .with_feature_cache(true);
+    let result = run("full", full, &fed, &model);
+    assert_eq!(result.total_cache_misses(), 0);
+    assert_eq!(result.peak_cache_bytes(), 0);
+}
