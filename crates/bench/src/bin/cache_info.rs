@@ -1,0 +1,39 @@
+//! Prints the detected cache hierarchy and the GEBP blocking parameters the
+//! packed GEMM core derived from it. CI runs this in the bench-smoke job so
+//! every recorded benchmark artifact carries the blocking it was measured
+//! under, and host-to-host retune drift stays diagnosable.
+//!
+//! With `--check-fallback` it additionally re-derives the blocking from the
+//! conservative fallback profile and asserts the result is usable, proving
+//! the detection-failure path of [`fedft_tensor::cache`] stays clean on this
+//! host. Exits non-zero if any invariant fails.
+
+use fedft_tensor::cache::{self, FALLBACK};
+
+fn main() {
+    let info = cache::cache_info();
+    let sizes = cache::block_sizes();
+    println!(
+        "cache: l1d={}K l2={}K l3={}K source={}",
+        info.l1d / 1024,
+        info.l2 / 1024,
+        info.l3 / 1024,
+        if info.detected { "sysfs" } else { "fallback" }
+    );
+    println!("blocking: kc={} mc={} nc={}", sizes.kc, sizes.mc, sizes.nc);
+
+    if std::env::args().any(|a| a == "--check-fallback") {
+        let fb = cache::derive_block_sizes(&FALLBACK);
+        println!("fallback blocking: kc={} mc={} nc={}", fb.kc, fb.mc, fb.nc);
+        let ok = (64..=512).contains(&fb.kc)
+            && fb.kc.is_multiple_of(64)
+            && fb.mc >= 4
+            && fb.nc >= 64
+            && sizes.kc.is_multiple_of(64);
+        if !ok {
+            eprintln!("cache_info: derived blocking violates invariants");
+            std::process::exit(1);
+        }
+        println!("fallback derivation: OK");
+    }
+}

@@ -481,7 +481,11 @@ mod tests {
         .expect("committed baseline readable");
         let base = baseline_min_ns(&doc).unwrap();
         assert!(base.contains_key("matmul_512x512x512"));
-        assert!(base.len() >= 8);
+        // The batched-GEMM entries must stay in the baseline: a fresh run
+        // that silently drops them would otherwise pass as `NewBench`.
+        assert!(base.contains_key("suffix_round_batch_32_clients_50_samples"));
+        assert!(base.contains_key("matmul_batch_shared_b_32x_50x64x64"));
+        assert!(base.len() >= 14);
         assert!(base.values().all(|&ns| ns > 0.0));
     }
 

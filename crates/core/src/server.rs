@@ -33,24 +33,18 @@ impl Server {
         if updates.is_empty() {
             return Err(FlError::NoParticipants { round });
         }
-        let total_selected: usize = updates.iter().map(|u| u.selected_samples).sum();
-        let entries: Vec<(ParamVector, f32)> = if total_selected == 0 {
-            // Degenerate but possible in adversarial configurations: fall back
-            // to a uniform average.
-            let w = 1.0 / updates.len() as f32;
-            updates.iter().map(|u| (u.theta.clone(), w)).collect()
-        } else {
-            updates
-                .iter()
-                .map(|u| {
-                    (
-                        u.theta.clone(),
-                        u.selected_samples as f32 / total_selected as f32,
-                    )
-                })
-                .collect()
-        };
-        ParamVector::weighted_average(&entries).map_err(FlError::from)
+        // Borrow the uploaded vectors straight into the accumulation —
+        // cloning every client's θ here used to double the memory traffic of
+        // the whole aggregation. `aggregation_weights` covers both the
+        // proportional case and the uniform fallback for rounds where no
+        // client selected any sample.
+        let weights = self.aggregation_weights(updates);
+        let entries: Vec<(&ParamVector, f32)> = updates
+            .iter()
+            .zip(weights)
+            .map(|(u, w)| (&u.theta, w))
+            .collect();
+        ParamVector::weighted_average_refs(&entries).map_err(FlError::from)
     }
 
     /// The aggregation weights that [`Server::aggregate`] would use, exposed
@@ -113,12 +107,12 @@ impl Server {
             return self.aggregate(updates, round);
         }
         let weights = self.staleness_weights(updates, staleness);
-        let entries: Vec<(ParamVector, f32)> = updates
+        let entries: Vec<(&ParamVector, f32)> = updates
             .iter()
             .zip(weights)
-            .map(|(u, w)| (u.theta.clone(), w))
+            .map(|(u, w)| (&u.theta, w))
             .collect();
-        ParamVector::weighted_average(&entries).map_err(FlError::from)
+        ParamVector::weighted_average_refs(&entries).map_err(FlError::from)
     }
 
     /// The convex weights [`Server::aggregate_stale`] uses: proportional to

@@ -129,14 +129,31 @@ impl ParamVector {
     /// Returns [`NnError::InvalidConfig`] for an empty input and
     /// [`NnError::ParamLengthMismatch`] when the vectors disagree in length.
     pub fn weighted_average(entries: &[(ParamVector, f32)]) -> Result<ParamVector> {
-        let Some(((first, _), rest)) = entries.split_first() else {
+        let refs: Vec<(&ParamVector, f32)> = entries.iter().map(|(v, w)| (v, *w)).collect();
+        Self::weighted_average_refs(&refs)
+    }
+
+    /// [`ParamVector::weighted_average`] over borrowed vectors.
+    ///
+    /// This is the aggregation hot path: the server averages every selected
+    /// client's `θ` each round, and cloning those vectors just to feed the
+    /// owned-entry signature doubled the memory traffic of the whole
+    /// operation. Both entry points lower to the same accumulation loop in
+    /// the same order, so their results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for an empty input and
+    /// [`NnError::ParamLengthMismatch`] when the vectors disagree in length.
+    pub fn weighted_average_refs(entries: &[(&ParamVector, f32)]) -> Result<ParamVector> {
+        let Some(((first, _), _)) = entries.split_first() else {
             return Err(NnError::InvalidConfig {
                 what: "weighted_average requires at least one entry".into(),
             });
         };
         let len = first.len();
         let mut out = vec![0.0_f32; len];
-        for (vector, weight) in std::iter::once(&entries[0]).chain(rest.iter()) {
+        for &(vector, weight) in entries {
             if vector.len() != len {
                 return Err(NnError::ParamLengthMismatch {
                     expected: len,
@@ -222,9 +239,35 @@ mod tests {
     #[test]
     fn weighted_average_errors() {
         assert!(ParamVector::weighted_average(&[]).is_err());
+        assert!(ParamVector::weighted_average_refs(&[]).is_err());
         let a = ParamVector::from_values(vec![1.0]);
         let b = ParamVector::from_values(vec![1.0, 2.0]);
+        assert!(ParamVector::weighted_average_refs(&[(&a, 0.5), (&b, 0.5)]).is_err());
         assert!(ParamVector::weighted_average(&[(a, 0.5), (b, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn weighted_average_refs_is_bit_identical_to_owned_entries() {
+        let vectors: Vec<ParamVector> = (0..7)
+            .map(|i| {
+                ParamVector::from_values(
+                    (0..64)
+                        .map(|j| ((i * 64 + j) as f32 * 0.37).sin())
+                        .collect(),
+                )
+            })
+            .collect();
+        let weights: Vec<f32> = (0..7).map(|i| 0.05 + 0.1 * i as f32).collect();
+        let owned: Vec<(ParamVector, f32)> = vectors
+            .iter()
+            .cloned()
+            .zip(weights.iter().copied())
+            .collect();
+        let refs: Vec<(&ParamVector, f32)> = vectors.iter().zip(weights.iter().copied()).collect();
+        let a = ParamVector::weighted_average(&owned).unwrap();
+        let b = ParamVector::weighted_average_refs(&refs).unwrap();
+        let bits = |v: &ParamVector| v.values().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
     }
 
     #[test]

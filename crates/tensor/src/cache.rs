@@ -1,0 +1,242 @@
+//! Runtime CPU-cache detection and GEBP blocking parameters.
+//!
+//! The packed GEMM core in `crate::packed` tiles the reduction and output
+//! dimensions so its working set fits the cache hierarchy: a `KC`-deep
+//! column panel of `B` should stay (mostly) L1-resident across the row
+//! panels of `A`, an `MC × KC` block of packed `A` should stay L2-resident
+//! while it is swept, and a `KC × NC` block of packed `B` should fit L3.
+//! Rather than baking in the benchmark host's sizes at compile time, the
+//! blocking parameters are derived once per process from the cache sizes
+//! Linux exposes under `/sys/devices/system/cpu/cpu0/cache/`, with
+//! conservative fallbacks when detection fails (non-Linux, sandboxed
+//! `/sys`, exotic topologies). The derivation is pure and exposed as
+//! [`derive_block_sizes`] so the fallback path is unit-testable, and the
+//! chosen values are logged by CI (`cache_info` binary in `fedft-bench`) so
+//! host-to-host retune drift stays diagnosable from artifacts.
+
+use std::sync::OnceLock;
+
+/// Data-cache sizes in bytes, plus where they came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// L1 data-cache size in bytes.
+    pub l1d: usize,
+    /// L2 cache size in bytes.
+    pub l2: usize,
+    /// Last-level (L3) cache size in bytes.
+    pub l3: usize,
+    /// `true` when the sizes were read from the OS, `false` when the
+    /// conservative fallbacks are in use.
+    pub detected: bool,
+}
+
+/// Fallback cache sizes used when detection fails: a conservative profile
+/// (small L1/L2/L3) that any x86-64 or AArch64 server of the last decade
+/// meets or exceeds. Undershooting cache sizes costs a little blocking
+/// efficiency; overshooting would thrash, so the fallback errs small.
+pub const FALLBACK: CacheInfo = CacheInfo {
+    l1d: 32 * 1024,
+    l2: 1024 * 1024,
+    l3: 16 * 1024 * 1024,
+    detected: false,
+};
+
+/// GEBP blocking parameters derived from the cache sizes.
+///
+/// All three are in *elements* (f32 lanes), not bytes, and are multiples of
+/// the packed micro-tile dimensions so panel arithmetic never needs a
+/// remainder check at block granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Reduction-dimension depth of one packed block (`KC`).
+    pub kc: usize,
+    /// Output rows per packed `A` block (`MC`).
+    pub mc: usize,
+    /// Output columns per packed `B` block (`NC`).
+    pub nc: usize,
+}
+
+/// Reads the cache hierarchy from sysfs, falling back to [`FALLBACK`].
+fn detect() -> CacheInfo {
+    read_sysfs().unwrap_or(FALLBACK)
+}
+
+/// Parses `/sys/devices/system/cpu/cpu0/cache/index*/{level,type,size}`.
+/// Returns `None` unless an L1-data, an L2 and an L3 entry are all present
+/// and well-formed — partial information falls back wholesale, keeping the
+/// derived blocking internally consistent.
+fn read_sysfs() -> Option<CacheInfo> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let mut l1d = None;
+    let mut l2 = None;
+    let mut l3 = None;
+    for entry in std::fs::read_dir(base).ok()? {
+        let dir = entry.ok()?.path();
+        if !dir
+            .file_name()
+            .and_then(|f| f.to_str())
+            .is_some_and(|f| f.starts_with("index"))
+        {
+            continue;
+        }
+        let read = |leaf: &str| -> Option<String> {
+            std::fs::read_to_string(dir.join(leaf))
+                .ok()
+                .map(|s| s.trim().to_string())
+        };
+        let level = read("level")?;
+        let kind = read("type")?;
+        let size = parse_size(&read("size")?)?;
+        match (level.as_str(), kind.as_str()) {
+            ("1", "Data") => l1d = Some(size),
+            ("2", "Unified" | "Data") => l2 = Some(size),
+            ("3", "Unified" | "Data") => l3 = Some(size),
+            _ => {}
+        }
+    }
+    Some(CacheInfo {
+        l1d: l1d?,
+        l2: l2?,
+        l3: l3?,
+        detected: true,
+    })
+}
+
+/// Parses sysfs cache-size strings: `"48K"`, `"2048K"`, `"1M"`, `"262144"`.
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: usize = digits.parse().ok()?;
+    (n > 0).then_some(n * mult)
+}
+
+/// Derives the GEBP blocking from cache sizes. Pure so the fallback path is
+/// testable without faking sysfs.
+///
+/// The targets, with `MR`/`NR` the packed large-path micro-tile from
+/// `crate::packed` and 4-byte elements:
+///
+/// * `KC`: one `B` column panel (`KC × NR`) should fill L1d — the measured
+///   sweep peaks when the panel is ≈1.0× L1d (at the 12×32 micro-tile,
+///   48K L1d → `KC = 384`; deeper blocks evict the panel mid-sweep,
+///   shallower ones pay extra partial-sum store/reload passes over `C`) —
+///   so the budget is `L1d`, rounded down to a multiple of 64 and clamped
+///   to `[64, 512]`.
+/// * `MC`: the packed `A` block (`MC × KC`) gets half of L2 (the other half
+///   holds the streaming `B` panels and `C` rows).
+/// * `NC`: the packed `B` block (`KC × NC`) gets half of L3.
+pub fn derive_block_sizes(cache: &CacheInfo) -> BlockSizes {
+    const ELEM: usize = core::mem::size_of::<f32>();
+    let nr = crate::packed::NR_P;
+    let mr = crate::packed::MR_P;
+
+    let kc_budget = cache.l1d;
+    let kc = (kc_budget / (ELEM * nr) / 64 * 64).clamp(64, 512);
+
+    let mc = (cache.l2 / (2 * ELEM * kc) / mr * mr).clamp(mr, 4096);
+    let nc = (cache.l3 / (2 * ELEM * kc) / nr * nr).clamp(nr, 8192);
+    BlockSizes { kc, mc, nc }
+}
+
+/// The cache sizes for this host, detected once per process.
+pub fn cache_info() -> &'static CacheInfo {
+    static INFO: OnceLock<CacheInfo> = OnceLock::new();
+    INFO.get_or_init(detect)
+}
+
+/// The GEBP blocking parameters for this host, derived once per process.
+pub fn block_sizes() -> &'static BlockSizes {
+    static SIZES: OnceLock<BlockSizes> = OnceLock::new();
+    SIZES.get_or_init(|| derive_block_sizes(cache_info()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::{MR_P, NR_P};
+
+    #[test]
+    fn parse_size_understands_sysfs_suffixes() {
+        assert_eq!(parse_size("48K"), Some(48 * 1024));
+        assert_eq!(parse_size("2048K"), Some(2048 * 1024));
+        assert_eq!(parse_size("1M"), Some(1024 * 1024));
+        assert_eq!(parse_size("262144"), Some(262144));
+        assert_eq!(parse_size(" 32K\n"), Some(32 * 1024));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("K"), None);
+        assert_eq!(parse_size("0"), None);
+        assert_eq!(parse_size("abcK"), None);
+    }
+
+    #[test]
+    fn fallback_derivation_is_sane() {
+        // Detection failure must still yield usable blocking: this is the
+        // exact path a host without readable sysfs takes.
+        let sizes = derive_block_sizes(&FALLBACK);
+        assert!(sizes.kc >= 64 && sizes.kc <= 512);
+        assert_eq!(sizes.kc % 64, 0);
+        assert!(sizes.mc >= MR_P);
+        assert_eq!(sizes.mc % MR_P, 0);
+        assert!(sizes.nc >= NR_P);
+        assert_eq!(sizes.nc % NR_P, 0);
+        // The fallback profile lands on KC=256: a 32K panel over NR_P=32
+        // f32 columns.
+        assert_eq!(sizes.kc, 256);
+    }
+
+    #[test]
+    fn derivation_is_monotone_and_clamped() {
+        // Tiny caches clamp to the micro-tile floor instead of zero.
+        let tiny = derive_block_sizes(&CacheInfo {
+            l1d: 1024,
+            l2: 1024,
+            l3: 8192,
+            detected: false,
+        });
+        assert_eq!(tiny.kc, 64);
+        assert_eq!(tiny.mc, MR_P);
+        assert_eq!(tiny.nc, NR_P);
+        // Huge caches clamp to the fixed ceilings.
+        let huge = derive_block_sizes(&CacheInfo {
+            l1d: 1 << 24,
+            l2: 1 << 28,
+            l3: 1 << 32,
+            detected: false,
+        });
+        assert_eq!(huge.kc, 512);
+        assert_eq!(huge.mc, 4096);
+        assert_eq!(huge.nc, 8192);
+    }
+
+    #[test]
+    fn benchmark_host_profile_derives_the_tuned_blocking() {
+        // The Sapphire-Rapids-class host the recorded baselines come from:
+        // 48K L1d / 2M L2. The sweep there peaked at KC=384 (panel = L1d).
+        let host = CacheInfo {
+            l1d: 48 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 256 * 1024 * 1024,
+            detected: true,
+        };
+        let sizes = derive_block_sizes(&host);
+        assert_eq!(sizes.kc, 384);
+        assert_eq!(sizes.mc, 672);
+        assert_eq!(sizes.nc, 8192);
+    }
+
+    #[test]
+    fn process_wide_values_are_consistent() {
+        let info = cache_info();
+        assert!(info.l1d > 0 && info.l2 > 0 && info.l3 > 0);
+        let sizes = block_sizes();
+        assert_eq!(*sizes, derive_block_sizes(info));
+        // Repeated calls return the same (cached) values.
+        assert!(std::ptr::eq(cache_info(), cache_info()));
+        assert!(std::ptr::eq(block_sizes(), block_sizes()));
+    }
+}

@@ -1,7 +1,10 @@
 //! Cache-blocked, register-tiled matrix-product kernels.
 //!
 //! All three public products on [`crate::Matrix`] (`NN`, `TᴺN`, `NTᵀ`) lower
-//! to one row-major GEMM core, [`gemm_nn`]. The core tiles the output into
+//! to one row-major GEMM core, [`gemm_nn`], which dispatches by size: large
+//! products go through the packed-panel GEBP core in [`crate::packed`]
+//! (cache-blocked, runtime-tuned — see that module), small ones stay on the
+//! direct kernel in this module. The direct core tiles the output into
 //! [`MR`]`×`[`NR`] register blocks: each block's accumulators live in vector
 //! registers across the entire reduction (the row and lane loops have
 //! constant trip counts, so the compiler fully unrolls them and promotes the
@@ -53,6 +56,14 @@ fn mac(acc: f32, s: f32, b: f32) -> f32 {
 /// `out[i][j] += Σ_k a[i][k] · b[k][j]` for row-major `a` (`m×k`), `b`
 /// (`k×n`) and zero-initialised `out` (`m×n`).
 ///
+/// Dispatch: products at or above [`crate::packed::PACKED_FLOP_THRESHOLD`]
+/// multiply-adds route through the packed-panel GEBP core
+/// ([`crate::packed`]), which repacks both operands into cache-blocked
+/// panels; smaller products keep the direct kernel below, whose dispatch
+/// cost is one branch. Both paths accumulate every output element in
+/// strictly ascending `k` order, so the choice never changes a single bit
+/// of the result.
+///
 /// # Panics
 ///
 /// Debug-asserts the buffer lengths; callers (the `Matrix` products) validate
@@ -64,7 +75,21 @@ pub(crate) fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &
     if m == 0 || k == 0 || n == 0 {
         return;
     }
+    let flops = m.saturating_mul(k).saturating_mul(n);
+    if flops >= crate::packed::PACKED_FLOP_THRESHOLD {
+        crate::packed::gemm_packed(m, k, n, a, b, out, max_threads(m, k, n));
+        return;
+    }
+    gemm_nn_direct(m, k, n, a, b, out);
+}
 
+/// The direct (non-packing) kernel: register blocking only, `B` streamed
+/// from the row-major operand. Public within the crate so the packed core's
+/// bit-identity tests can pin packed ≡ direct explicitly.
+pub(crate) fn gemm_nn_direct(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
     let threads = max_threads(m, k, n);
     if threads <= 1 {
         gemm_rows(k, n, a, b, out);

@@ -38,7 +38,9 @@
 mod error;
 mod kernels;
 mod matrix;
+mod packed;
 
+pub mod cache;
 pub mod init;
 pub mod parallel;
 pub mod rng;

@@ -1,0 +1,676 @@
+//! Packed-panel (BLIS-style GEBP) GEMM core for large products, and a
+//! batched small-GEMM path that shares one packed `B` across many `A`s.
+//!
+//! The direct kernel in [`crate::kernels`] streams `B` straight from the
+//! row-major operand: each `MR×NR` output tile re-reads its `B` columns with
+//! an `n`-element stride, so once the working set leaves L1/L2 the kernel is
+//! memory-bound. This module removes that wall the standard way:
+//!
+//! * `B` is repacked into **column panels** — `NR`-wide, `KC`-deep slabs
+//!   laid out so the micro-kernel reads them contiguously;
+//! * `A` is repacked into **row panels** — `MR`-tall, `KC`-deep slabs in
+//!   reduction-major order, so the broadcast loads are contiguous too;
+//! * the reduction is blocked by `KC` and the output by `MC`/`NC`, all three
+//!   chosen at runtime from the detected cache sizes ([`crate::cache`]).
+//!
+//! The micro-tile shape is a const-generic parameter: the large-product path
+//! uses the deep [`MR_P`]`×`[`NR_P`] tile (maximum register reuse), while the
+//! shared-`B` batch path uses the squat [`MR_B`]`×`[`NR_B`] tile (minimum
+//! edge waste on short per-client row counts). Tile shape never affects
+//! results — only which registers hold which partial sums.
+//!
+//! # Determinism contract
+//!
+//! Every output element accumulates its `k` terms in strictly ascending
+//! order, exactly like the direct kernel and the naive oracle: the
+//! micro-kernel zero-initialises its register tile on the first reduction
+//! block and *reloads the partial sums from `C`* on subsequent blocks, so a
+//! blocked reduction is the same fused-multiply-add chain as an unblocked
+//! one (storing and reloading an `f32` is exact). Output rows are
+//! partitioned disjointly across threads. Results are therefore
+//! byte-identical between the packed path, the direct kernel, and any
+//! thread count — the property the `learning_history()` and feature-cache
+//! bit-identity contracts depend on — and the tests below pin it.
+//!
+//! # Scratch reuse
+//!
+//! Packing buffers are thread-local and grow-only, so steady-state calls on
+//! the hot path allocate nothing. Worker threads spawned for very large
+//! products allocate their own `A` scratch once per spawn — that path
+//! already pays a thread-spawn per call and only triggers above the packed
+//! dispatch threshold on multi-core hosts.
+
+use crate::cache;
+use std::cell::RefCell;
+
+/// Rows per packed micro-tile. 12×32 holds twenty-four 512-bit accumulators
+/// (12 rows × two lanes) plus the two `B` vectors and one broadcast — 27 of
+/// the 32 zmm registers, the deepest tile that doesn't spill. The tall tile
+/// maximises `B`-vector reuse (each loaded lane feeds 12 FMAs), which is
+/// what a measured sweep on the AVX-512 benchmark hosts rewards: 12×32 and
+/// 6×64 came out 25–30% ahead of 4×64, while 8×48, 14×32 and 16×32
+/// mis-vectorise or spill catastrophically (see `kernels.rs` for the tuning
+/// discipline — re-measure before touching either constant).
+pub(crate) const MR_P: usize = 12;
+
+/// Columns per packed micro-tile (two 512-bit lanes of `f32`).
+pub(crate) const NR_P: usize = 32;
+
+/// Batch-path micro-tile rows. The per-item `A`s in the shared-`B` batch
+/// path are short (tens of rows — one client's sample batch), so the tall
+/// 12-row tile wastes up to a fifth of its flops on edge padding there; a
+/// squat 4×64 tile keeps edge waste small while still filling the vector
+/// registers (8 accumulators × 4 lanes + 4 `B` vectors). Measured on the
+/// benchmark host: 4×64 wins the 50-row batch shapes that lose under 12×32.
+pub(crate) const MR_B: usize = 4;
+
+/// Batch-path micro-tile columns (four 512-bit lanes of `f32`).
+pub(crate) const NR_B: usize = 64;
+
+/// Minimum multiply-add count before the packed path beats the direct
+/// kernel. Below this the packing traffic and wider edge tiles cost more
+/// than the panel locality buys: the measured crossover on the tuned host
+/// is ≈256³ (the direct kernel wins 128³ by ~3%, loses 320³ by ~16%).
+pub(crate) const PACKED_FLOP_THRESHOLD: usize = 1 << 24;
+
+thread_local! {
+    /// Grow-only packing scratch: `(packed A, packed B)`.
+    static SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Resizes a grow-only scratch buffer. Contents are overwritten by packing
+/// before use, so no zeroing happens here.
+fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Packs the `B` block `rows kc0..kc0+kc × cols nc0..nc0+ncw` into `NR`-wide
+/// column panels: panel `jp` holds columns `nc0 + jp*NR ..`, laid out
+/// reduction-major (`panel[kk*NR + l]`). The last panel zero-pads its
+/// missing columns so the micro-kernel always reads full vectors; padded
+/// lanes never reach `C`.
+fn pack_b<const NR: usize>(
+    b: &[f32],
+    n: usize,
+    kc0: usize,
+    kc: usize,
+    nc0: usize,
+    ncw: usize,
+    out: &mut [f32],
+) {
+    let npanels = ncw.div_ceil(NR);
+    for jp in 0..npanels {
+        let j0 = nc0 + jp * NR;
+        let jw = NR.min(nc0 + ncw - j0);
+        let panel = &mut out[jp * kc * NR..(jp + 1) * kc * NR];
+        if jw == NR {
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = (kc0 + kk) * n + j0;
+                dst.copy_from_slice(&b[src..src + NR]);
+            }
+        } else {
+            panel.fill(0.0);
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = (kc0 + kk) * n + j0;
+                dst[..jw].copy_from_slice(&b[src..src + jw]);
+            }
+        }
+    }
+}
+
+/// Packs the `A` block `rows i0..i0+mw × cols kc0..kc0+kc` into `MR`-tall
+/// row panels, reduction-major (`panel[kk*MR + r]`). The last panel zero-pads
+/// its missing rows; the padded rows' results are computed but never stored.
+fn pack_a<const MR: usize>(
+    a: &[f32],
+    k: usize,
+    i0: usize,
+    mw: usize,
+    kc0: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    let mpanels = mw.div_ceil(MR);
+    for ip in 0..mpanels {
+        let r0 = i0 + ip * MR;
+        let rw = MR.min(i0 + mw - r0);
+        let panel = &mut out[ip * kc * MR..(ip + 1) * kc * MR];
+        if rw < MR {
+            panel.fill(0.0);
+        }
+        for r in 0..rw {
+            let row = &a[(r0 + r) * k + kc0..(r0 + r) * k + kc0 + kc];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// One multiply-accumulate step; see `kernels::mac`.
+#[inline(always)]
+fn mac(acc: f32, s: f32, b: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        s.mul_add(b, acc)
+    } else {
+        acc + s * b
+    }
+}
+
+/// The packed register micro-kernel: a full `MR × NR` output tile at
+/// `out[0..MR rows × n stride]`, accumulated over one `kc`-deep reduction
+/// block from contiguous panels. `first` selects zero-init (first reduction
+/// block) versus reloading the partial sums from `C` — the store/reload
+/// keeps the per-element FMA chain identical to an unblocked reduction.
+///
+/// The accumulator is a local array with constant-bound loops so the
+/// compiler promotes it to vector registers; passing it by reference
+/// defeats that promotion and is ~15× slower.
+#[inline]
+fn micro_kernel<const MR: usize, const NR: usize>(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    n: usize,
+    out: &mut [f32],
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let src: &[f32; NR] = out[r * n..r * n + NR]
+                .try_into()
+                .expect("slice length is NR by construction");
+            *acc_row = *src;
+        }
+    }
+    for kk in 0..kc {
+        let bv: &[f32; NR] = b_panel[kk * NR..(kk + 1) * NR]
+            .try_into()
+            .expect("slice length is NR by construction");
+        let av: &[f32; MR] = a_panel[kk * MR..(kk + 1) * MR]
+            .try_into()
+            .expect("slice length is MR by construction");
+        for r in 0..MR {
+            let s = av[r];
+            for l in 0..NR {
+                acc[r][l] = mac(acc[r][l], s, bv[l]);
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[r * n..r * n + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Edge variant for partial tiles (`mw < MR` and/or `nw < NR`): loads
+/// and stores only the valid `mw × nw` corner while computing the full
+/// padded tile (the panels' zero padding makes the extra lanes inert — they
+/// are discarded, so even a NaN-producing `0 × ∞` in a padded lane cannot
+/// leak into `C`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_edge<const MR: usize, const NR: usize>(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    n: usize,
+    mw: usize,
+    nw: usize,
+    out: &mut [f32],
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (r, acc_row) in acc.iter_mut().enumerate().take(mw) {
+            acc_row[..nw].copy_from_slice(&out[r * n..r * n + nw]);
+        }
+    }
+    for kk in 0..kc {
+        let bv: &[f32; NR] = b_panel[kk * NR..(kk + 1) * NR]
+            .try_into()
+            .expect("slice length is NR by construction");
+        let av: &[f32; MR] = a_panel[kk * MR..(kk + 1) * MR]
+            .try_into()
+            .expect("slice length is MR by construction");
+        for r in 0..MR {
+            let s = av[r];
+            for l in 0..NR {
+                acc[r][l] = mac(acc[r][l], s, bv[l]);
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(mw) {
+        out[r * n..r * n + nw].copy_from_slice(&acc_row[..nw]);
+    }
+}
+
+/// Sweeps one packed `A` block (rows `i0..i0+mw`, local to `a_pack`) against
+/// one packed `B` block (columns `nc0..nc0+ncw`), accumulating into `out`
+/// (full `m × n`, absolute indices).
+#[allow(clippy::too_many_arguments)]
+fn sweep_block<const MR: usize, const NR: usize>(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    kc: usize,
+    n: usize,
+    i0: usize,
+    mw: usize,
+    nc0: usize,
+    ncw: usize,
+    out: &mut [f32],
+    first: bool,
+) {
+    let mpanels = mw.div_ceil(MR);
+    let npanels = ncw.div_ceil(NR);
+    for ip in 0..mpanels {
+        let r0 = i0 + ip * MR;
+        let rw = MR.min(i0 + mw - r0);
+        let a_panel = &a_pack[ip * kc * MR..(ip + 1) * kc * MR];
+        for jp in 0..npanels {
+            let j0 = nc0 + jp * NR;
+            let jw = NR.min(nc0 + ncw - j0);
+            let b_panel = &b_pack[jp * kc * NR..(jp + 1) * kc * NR];
+            let tile = &mut out[r0 * n + j0..];
+            if rw == MR && jw == NR {
+                micro_kernel::<MR, NR>(kc, a_panel, b_panel, n, tile, first);
+            } else {
+                micro_kernel_edge::<MR, NR>(kc, a_panel, b_panel, n, rw, jw, tile, first);
+            }
+        }
+    }
+}
+
+/// Sequential packed GEMM over a contiguous row slice of the output:
+/// `a_rows` holds that slice's rows of `A` (`rows × k`), `out` the matching
+/// `rows × n` of `C`, and `b_pack` the full externally packed `B` (per
+/// `(NC, KC)` block, in this function's loop order). `a_scratch` is this
+/// worker's grow-only `A` scratch.
+fn gemm_rows_packed<const MR: usize, const NR: usize>(
+    k: usize,
+    n: usize,
+    a_rows: &[f32],
+    b_pack: &[f32],
+    out: &mut [f32],
+    a_scratch: &mut Vec<f32>,
+) {
+    let sizes = cache::block_sizes();
+    let rows = out.len() / n;
+    ensure_len(
+        a_scratch,
+        sizes.mc.min(rows).next_multiple_of(MR) * sizes.kc.min(k).max(1),
+    );
+    let mut b_off = 0;
+    for nc0 in (0..n).step_by(sizes.nc) {
+        let ncw = sizes.nc.min(n - nc0);
+        let b_block_panels = ncw.div_ceil(NR) * NR;
+        for kc0 in (0..k).step_by(sizes.kc) {
+            let kc = sizes.kc.min(k - kc0);
+            let b_block = &b_pack[b_off..b_off + b_block_panels * kc];
+            b_off += b_block_panels * kc;
+            for i0 in (0..rows).step_by(sizes.mc) {
+                let mw = sizes.mc.min(rows - i0);
+                let a_block_len = mw.div_ceil(MR) * MR * kc;
+                pack_a::<MR>(a_rows, k, i0, mw, kc0, kc, &mut a_scratch[..a_block_len]);
+                sweep_block::<MR, NR>(
+                    &a_scratch[..a_block_len],
+                    b_block,
+                    kc,
+                    n,
+                    i0,
+                    mw,
+                    nc0,
+                    ncw,
+                    out,
+                    kc0 == 0,
+                );
+            }
+        }
+    }
+}
+
+/// Total length of the packed-`B` buffer for a `k × n` operand under the
+/// current blocking.
+fn packed_b_len<const NR: usize>(k: usize, n: usize) -> usize {
+    let sizes = cache::block_sizes();
+    let mut len = 0;
+    for nc0 in (0..n).step_by(sizes.nc) {
+        let ncw = sizes.nc.min(n - nc0);
+        for kc0 in (0..k).step_by(sizes.kc) {
+            let kc = sizes.kc.min(k - kc0);
+            len += ncw.div_ceil(NR) * NR * kc;
+        }
+    }
+    len
+}
+
+/// Packs all of `B` (every `(NC, KC)` block, in the loop order
+/// [`gemm_rows_packed`] consumes them) into `out`.
+fn pack_b_full<const NR: usize>(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    let sizes = cache::block_sizes();
+    let mut off = 0;
+    for nc0 in (0..n).step_by(sizes.nc) {
+        let ncw = sizes.nc.min(n - nc0);
+        let block_len = ncw.div_ceil(NR) * NR;
+        for kc0 in (0..k).step_by(sizes.kc) {
+            let kc = sizes.kc.min(k - kc0);
+            pack_b::<NR>(b, n, kc0, kc, nc0, ncw, &mut out[off..off + block_len * kc]);
+            off += block_len * kc;
+        }
+    }
+}
+
+/// Packed GEMM entry: `out += A·B` for zero-initialised `out`, split across
+/// `threads` workers by disjoint contiguous row ranges (multiples of `MR_P`
+/// so only the last range carries a partial panel). `B` is packed once by
+/// the calling thread and shared read-only.
+pub(crate) fn gemm_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    threads: usize,
+) {
+    SCRATCH.with(|cell| {
+        let (a_scratch, b_scratch) = &mut *cell.borrow_mut();
+        ensure_len(b_scratch, packed_b_len::<NR_P>(k, n));
+        pack_b_full::<NR_P>(b, k, n, b_scratch);
+        let b_pack: &[f32] = b_scratch;
+        if threads <= 1 {
+            gemm_rows_packed::<MR_P, NR_P>(k, n, a, b_pack, out, a_scratch);
+            return;
+        }
+        let rows_per_thread = m.div_ceil(threads).next_multiple_of(MR_P);
+        std::thread::scope(|scope| {
+            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_thread * n).enumerate() {
+                let row0 = chunk_idx * rows_per_thread;
+                let rows = out_chunk.len() / n;
+                let a_chunk = &a[row0 * k..(row0 + rows) * k];
+                scope.spawn(move || {
+                    // Fresh spawn, fresh scratch: this path only triggers for
+                    // very large products where the spawn cost already
+                    // dominates the allocation.
+                    let mut a_scratch = Vec::new();
+                    gemm_rows_packed::<MR_P, NR_P>(
+                        k,
+                        n,
+                        a_chunk,
+                        b_pack,
+                        out_chunk,
+                        &mut a_scratch,
+                    );
+                });
+            }
+        });
+    });
+}
+
+/// Batched GEMM against one shared right-hand side: computes
+/// `outs[i] = as[i] · B` for every operand pair, packing `B` **once** and
+/// reusing it across the whole batch. Each `as[i]` holds `ms[i] × k` values
+/// and `outs[i]` must be zero-initialised `ms[i] × n`.
+///
+/// This is the per-round suffix shape of the paper's workload: every
+/// participating client runs the same global suffix weights over its own
+/// activations, so `B` (the layer weights) is shared while `A` (the batch
+/// activations) varies. Packing cost is amortised `batch`-fold, which is
+/// where the win over per-call dispatch lives — the per-item products are
+/// usually far below [`PACKED_FLOP_THRESHOLD`].
+///
+/// Per-element accumulation order is ascending-`k`, the same as every other
+/// path, so each `outs[i]` is byte-identical to `matmul` on the same pair.
+///
+/// # Panics
+///
+/// Debug-asserts the buffer lengths; callers validate shapes.
+pub(crate) fn gemm_batch_shared_b(
+    k: usize,
+    n: usize,
+    batch: &mut [(usize, &[f32], &mut [f32])],
+    b: &[f32],
+) {
+    debug_assert_eq!(b.len(), k * n);
+    if k == 0 || n == 0 || batch.is_empty() {
+        return;
+    }
+    // A narrow output (n well under one NR_B panel) pads most of the
+    // micro-tile with zero columns, so the packed sweep does several times
+    // the useful flops — the direct kernel's slimmer tile wins there, and
+    // both paths are bit-identical, so routing is purely a speed choice.
+    if n < NR_B / 2 {
+        for (m, a_rows, out) in batch.iter_mut() {
+            debug_assert_eq!(a_rows.len(), *m * k);
+            debug_assert_eq!(out.len(), *m * n);
+            crate::kernels::gemm_nn_direct(*m, k, n, a_rows, b, out);
+        }
+        return;
+    }
+    SCRATCH.with(|cell| {
+        let (a_scratch, b_scratch) = &mut *cell.borrow_mut();
+        ensure_len(b_scratch, packed_b_len::<NR_B>(k, n));
+        pack_b_full::<NR_B>(b, k, n, b_scratch);
+        for (m, a_rows, out) in batch.iter_mut() {
+            debug_assert_eq!(a_rows.len(), *m * k);
+            debug_assert_eq!(out.len(), *m * n);
+            gemm_rows_packed::<MR_B, NR_B>(k, n, a_rows, b_scratch, out, a_scratch);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    /// Reference triple loop, ascending `k` per element (two-rounding: no
+    /// FMA), the workspace-wide correctness oracle.
+    fn gemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let s = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += s * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn pattern(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                ((x >> 16) as f32 / 65536.0) - 0.5
+            })
+            .collect()
+    }
+
+    fn assert_close(actual: &[f32], expected: &[f32], context: &str) {
+        assert_eq!(actual.len(), expected.len(), "{context}");
+        for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+            assert!(
+                (a - e).abs() <= 1e-5,
+                "{context}: element {i} differs: {a} vs {e}"
+            );
+        }
+    }
+
+    fn run_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], threads: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        gemm_packed(m, k, n, a, b, &mut out, threads);
+        out
+    }
+
+    /// Shapes chosen to straddle every packing remainder: coprime with both
+    /// micro-tiles (12×32 large-path, 4×64 batch-path) and the smallest KC
+    /// (64), degenerate rows/columns, and reductions of depth 0 and 1.
+    const AWKWARD: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (5, 67, 9),
+        (7, 13, 3),
+        (9, 129, 11),
+        (17, 9, 37),
+        (63, 65, 67),
+        (129, 193, 63),
+        (1, 300, 67),
+        (67, 300, 1),
+        (40, 0, 40),
+        (40, 1, 40),
+        (4, 64, 64),
+        (8, 128, 128),
+    ];
+
+    #[test]
+    fn packed_matches_naive_oracle_on_awkward_shapes() {
+        for &(m, k, n) in AWKWARD {
+            let a = pattern(m * k, 1);
+            let b = pattern(k * n, 2);
+            let out = run_packed(m, k, n, &a, &b, 1);
+            assert_close(
+                &out,
+                &gemm_naive(m, k, n, &a, &b),
+                &format!("shape ({m},{k},{n})"),
+            );
+        }
+    }
+
+    #[test]
+    fn packed_is_bit_identical_to_direct_kernel() {
+        // The determinism contract: packing must not change a single bit of
+        // any output element, because both paths accumulate in strictly
+        // ascending k order. The `learning_history()` and feature-cache
+        // contracts ride on this.
+        for &(m, k, n) in AWKWARD {
+            let a = pattern(m * k, 3);
+            let b = pattern(k * n, 4);
+            let packed = run_packed(m, k, n, &a, &b, 1);
+            let mut direct = vec![0.0f32; m * n];
+            kernels::gemm_nn_direct(m, k, n, &a, &b, &mut direct);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&packed), bits(&direct), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn packed_is_bit_identical_across_thread_counts() {
+        // Rows are partitioned disjointly, so any worker count must produce
+        // the same bytes (the single-core benchmark host and the multi-core
+        // CI runners have to agree).
+        let (m, k, n) = (67, 130, 129);
+        let a = pattern(m * k, 5);
+        let b = pattern(k * n, 6);
+        let reference = run_packed(m, k, n, &a, &b, 1);
+        for threads in [2, 3, 5, 8] {
+            let out = run_packed(m, k, n, &a, &b, threads);
+            assert_eq!(reference, out, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn packed_handles_multiple_reduction_blocks_bit_identically() {
+        // k larger than any KC: the micro-kernel reloads partial sums from C
+        // between blocks, which must reproduce the unblocked chain exactly.
+        let kc = cache::block_sizes().kc;
+        let (m, n) = (9, 70);
+        let k = 2 * kc + 17;
+        let a = pattern(m * k, 7);
+        let b = pattern(k * n, 8);
+        let packed = run_packed(m, k, n, &a, &b, 1);
+        let mut direct = vec![0.0f32; m * n];
+        kernels::gemm_nn_direct(m, k, n, &a, &b, &mut direct);
+        assert_eq!(packed, direct);
+        assert_close(&packed, &gemm_naive(m, k, n, &a, &b), "multi-KC");
+    }
+
+    #[test]
+    fn batch_shared_b_is_bit_identical_to_individual_products() {
+        let (k, n) = (37, 66);
+        let b = pattern(k * n, 9);
+        let ms = [1usize, 4, 7, 32, 3];
+        let a_bufs: Vec<Vec<f32>> = ms
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| pattern(m * k, 10 + i as u32))
+            .collect();
+        let mut outs: Vec<Vec<f32>> = ms.iter().map(|&m| vec![0.0f32; m * n]).collect();
+        {
+            let mut items: Vec<(usize, &[f32], &mut [f32])> = ms
+                .iter()
+                .zip(a_bufs.iter())
+                .zip(outs.iter_mut())
+                .map(|((&m, a), out)| (m, a.as_slice(), out.as_mut_slice()))
+                .collect();
+            gemm_batch_shared_b(k, n, &mut items, &b);
+        }
+        for ((&m, a), out) in ms.iter().zip(a_bufs.iter()).zip(outs.iter()) {
+            let mut individual = vec![0.0f32; m * n];
+            kernels::gemm_nn(m, k, n, a, &b, &mut individual);
+            assert_eq!(out, &individual, "batch item m={m}");
+        }
+    }
+
+    #[test]
+    fn narrow_batch_routes_match_individual_products() {
+        // n below NR_P/2 takes the direct-kernel route inside the batch
+        // entry point; the outputs must stay identical to per-item matmul.
+        let (k, n) = (64, 10);
+        let b = pattern(k * n, 21);
+        let ms = [1usize, 5, 50];
+        let a_bufs: Vec<Vec<f32>> = ms
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| pattern(m * k, 22 + i as u32))
+            .collect();
+        let mut outs: Vec<Vec<f32>> = ms.iter().map(|&m| vec![0.0f32; m * n]).collect();
+        {
+            let mut items: Vec<(usize, &[f32], &mut [f32])> = ms
+                .iter()
+                .zip(a_bufs.iter())
+                .zip(outs.iter_mut())
+                .map(|((&m, a), out)| (m, a.as_slice(), out.as_mut_slice()))
+                .collect();
+            gemm_batch_shared_b(k, n, &mut items, &b);
+        }
+        for ((&m, a), out) in ms.iter().zip(a_bufs.iter()).zip(outs.iter()) {
+            let mut individual = vec![0.0f32; m * n];
+            kernels::gemm_nn(m, k, n, a, &b, &mut individual);
+            assert_eq!(out, &individual, "narrow batch item m={m}");
+        }
+    }
+
+    #[test]
+    fn batch_degenerate_inputs_are_noops() {
+        gemm_batch_shared_b(0, 4, &mut [], &[]);
+        let mut out = vec![0.0f32; 0];
+        let mut items: Vec<(usize, &[f32], &mut [f32])> = vec![(0, &[], out.as_mut_slice())];
+        gemm_batch_shared_b(4, 4, &mut items, &pattern(16, 1));
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        // Steady state must not allocate: the scratch only ever grows, so a
+        // second call at the same shape finds buffers already large enough.
+        let (m, k, n) = (16, 80, 70);
+        let a = pattern(m * k, 11);
+        let b = pattern(k * n, 12);
+        let first = run_packed(m, k, n, &a, &b, 1);
+        let (cap_a, cap_b) = SCRATCH.with(|c| {
+            let s = c.borrow();
+            (s.0.capacity(), s.1.capacity())
+        });
+        let again = run_packed(m, k, n, &a, &b, 1);
+        let (cap_a2, cap_b2) = SCRATCH.with(|c| {
+            let s = c.borrow();
+            (s.0.capacity(), s.1.capacity())
+        });
+        assert_eq!(first, again);
+        assert_eq!(cap_a, cap_a2);
+        assert_eq!(cap_b, cap_b2);
+    }
+}

@@ -48,6 +48,61 @@ pub fn softmax_with_temperature(logits: &Matrix, temperature: f32) -> Result<Mat
     Ok(out)
 }
 
+/// Row-wise Shannon entropy of the temperature-scaled softmax of `logits`,
+/// fused into a single pass per row.
+///
+/// Semantically `row_entropies(&softmax_with_temperature(logits, t)?)`, and
+/// **bit-identical** to that two-pass form: the same max-subtracted
+/// exponentials are accumulated into the same denominator in the same
+/// order, each probability is formed by the same division, and the entropy
+/// sum adds `-p·ln p` for the same (strictly positive) terms left to right.
+/// What the fusion removes is the `rows × cols` probability matrix the
+/// two-pass form materialises, writes and re-reads — the selector only ever
+/// needs the per-row entropies, not the probabilities.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyMatrix`] for an empty input.
+///
+/// # Panics
+///
+/// Panics if `temperature` is not strictly positive.
+pub fn softmax_entropy_rows(logits: &Matrix, temperature: f32) -> Result<Vec<f32>> {
+    assert!(
+        temperature.is_finite() && temperature > 0.0,
+        "softmax temperature must be positive and finite, got {temperature}"
+    );
+    if logits.is_empty() {
+        return Err(TensorError::EmptyMatrix {
+            op: "softmax_entropy",
+        });
+    }
+    let mut scratch = vec![0.0_f32; logits.cols()];
+    let mut entropies = Vec::with_capacity(logits.rows());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0_f32;
+        for (e, &z) in scratch.iter_mut().zip(row.iter()) {
+            let v = ((z - max) / temperature).exp();
+            *e = v;
+            denom += v;
+        }
+        // denom >= 1 because the max element contributes exp(0) = 1. The
+        // entropy accumulation mirrors `shannon_entropy` exactly — same
+        // iterator pipeline, so even the signed zero of an all-certain row
+        // matches the two-pass form bit for bit.
+        let h: f32 = scratch
+            .iter()
+            .map(|&e| e / denom)
+            .filter(|&p| p > 0.0)
+            .map(|p| -p * p.ln())
+            .sum();
+        entropies.push(h);
+    }
+    Ok(entropies)
+}
+
 /// Row-wise softmax at temperature 1.
 ///
 /// # Errors
@@ -288,6 +343,52 @@ mod tests {
         assert_eq!(h.len(), 3);
         // The uniform row has the maximum entropy of the three.
         assert!(h[1] >= h[0] && h[1] >= h[2]);
+    }
+
+    #[test]
+    fn fused_softmax_entropy_is_bit_identical_to_two_pass() {
+        // The cases that stress every branch of the fusion: mixed logits,
+        // exact ties (uniform rows), numerically large values where the
+        // max-subtraction matters, hardened and softened temperatures, and
+        // -inf logits whose probability underflows to exactly zero (the
+        // `p > 0` filter must skip them in both forms).
+        let matrices = [
+            logits(),
+            Matrix::from_rows(&[vec![1000.0, 1001.0, 999.0], vec![-1000.0, 0.0, 1000.0]]).unwrap(),
+            Matrix::from_rows(&[vec![f32::NEG_INFINITY, 0.0, 2.0]]).unwrap(),
+            Matrix::from_rows(&[vec![0.5]]).unwrap(),
+            Matrix::from_vec(
+                7,
+                11,
+                (0..77)
+                    .map(|i| ((i * 37 % 19) as f32 - 9.0) * 1.7)
+                    .collect(),
+            )
+            .unwrap(),
+        ];
+        for (i, m) in matrices.iter().enumerate() {
+            for temperature in [0.1, 0.5, 1.0, 5.0] {
+                let two_pass = row_entropies(&softmax_with_temperature(m, temperature).unwrap());
+                let fused = softmax_entropy_rows(m, temperature).unwrap();
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&two_pass),
+                    bits(&fused),
+                    "matrix {i}, temperature {temperature}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_softmax_entropy_validates_like_softmax() {
+        assert!(softmax_entropy_rows(&Matrix::zeros(0, 0), 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn fused_softmax_entropy_rejects_zero_temperature() {
+        let _ = softmax_entropy_rows(&logits(), 0.0);
     }
 
     #[test]
