@@ -116,6 +116,7 @@ mod tests {
                 cache_misses: 0,
                 cache_evictions: 0,
                 cache_peak_bytes: 0,
+                flush: None,
             })
             .collect();
         RunResult::new(label, rounds)

@@ -18,11 +18,17 @@
 //!    must stay under budget (peak cache bytes ≤ budget — exit non-zero
 //!    otherwise) and its learning history must be bit-identical to both
 //!    the per-client-cache and the cache-off baselines of the same pool;
-//! 5. writes a `BENCH_scaling.json` artifact with the measured curve, the
+//! 5. runs the **streaming serving mode** over a 100k-logical-client pool
+//!    (200 shards, burst arrivals, FedBuff buffer K=100): the budgeted run
+//!    must stay under its cache byte budget while evicting, its history
+//!    must be bit-identical to the unbudgeted run, and — gated like the
+//!    parallel speedup check — its sustained aggregated-updates/sec must
+//!    be at least the sequential backend's on the same cohort;
+//! 6. writes a `BENCH_scaling.json` artifact with the measured curve, the
 //!    *simulated* wall-clock contrast (async overlap vs synchronous
-//!    rounds), per-backend cache hit/miss/peak-bytes counters and the
-//!    logical-pool cache section — all hardware-independent except the
-//!    elapsed times.
+//!    rounds), per-backend cache hit/miss/peak-bytes counters, the
+//!    logical-pool cache section and the streaming throughput/flush
+//!    section — all hardware-independent except the elapsed times.
 //!
 //! Usage: `scaling_smoke [--out BENCH_scaling.json]`. Set
 //! `FEDFT_SCALING_ASSERT=0`/`1` to force the speedup assertion off/on
@@ -32,7 +38,8 @@
 //! builds are slow enough to distort the curve.
 
 use fedft_core::{
-    CacheScope, ExecutionBackend, FlConfig, HeterogeneityModel, Method, RunResult, Simulation,
+    ArrivalModel, CacheScope, ExecutionBackend, FlConfig, FlushTrigger, HeterogeneityModel, Method,
+    RunResult, Simulation, StreamingParams,
 };
 use fedft_data::federated::PartitionScheme;
 use fedft_data::{domains, FederatedDataset};
@@ -51,6 +58,19 @@ const POOL_LOGICAL_CLIENTS: usize = 10_000;
 const POOL_ROUNDS: usize = 2;
 /// ≈ participants per pool round (fraction of the logical cohort).
 const POOL_PARTICIPANTS: usize = 40;
+/// Streaming scenario: continuous buffered serving over a planet-scale
+/// logical cohort — 100k clients over 200 physical shards, the regime the
+/// streaming backend + shared cache registry are built for.
+const STREAM_SHARDS: usize = 200;
+const STREAM_LOGICAL_CLIENTS: usize = 100_000;
+const STREAM_ROUNDS: usize = 3;
+/// ≈ participants invited per flush interval.
+const STREAM_PARTICIPANTS: usize = 150;
+/// FedBuff `K`: shallower than the invited cohort, so the fast tier
+/// flushes early and the slowest arrivals are carried into later
+/// intervals — while staying close enough to the arrival rate that the
+/// server keeps up (the aggregated-updates/sec contract below).
+const STREAM_BUFFER: usize = 140;
 /// Parallel may be up to this factor slower than sequential before the
 /// smoke check fails — absorbs scheduler noise on shared CI runners while
 /// still catching a parallel path that stopped scaling at all.
@@ -228,6 +248,154 @@ fn run_logical_pool() -> Result<PoolReport, Box<dyn std::error::Error>> {
     })
 }
 
+/// Outcome of the streaming scenario, written into the JSON artifact.
+struct StreamReport {
+    budget_bytes: usize,
+    peak_bytes: usize,
+    dedup_bytes: usize,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+    flushes: usize,
+    buffer_full_flushes: usize,
+    timeout_flushes: usize,
+    drain_flushes: usize,
+    carried_updates: usize,
+    streaming_updates: usize,
+    streaming_elapsed_seconds: f64,
+    streaming_updates_per_sec: f64,
+    sequential_updates: usize,
+    sequential_elapsed_seconds: f64,
+    sequential_updates_per_sec: f64,
+}
+
+fn stream_setup() -> Result<(FederatedDataset, BlockNet), Box<dyn std::error::Error>> {
+    // Sized so each arrival's local training is large enough to amortise
+    // the parallel executor's per-client fan-out (the throughput contract
+    // compares real elapsed time), while the whole phase stays a smoke.
+    let target = domains::cifar10_like()
+        .with_samples_per_class(1_000)
+        .with_test_samples_per_class(4)
+        .generate(9)?;
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        STREAM_SHARDS,
+        PartitionScheme::Iid,
+        13,
+    )?;
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes())
+        .with_hidden(64, 64, 64);
+    Ok((fed, BlockNet::new(&model_cfg, 7)))
+}
+
+fn stream_config() -> FlConfig {
+    Method::FedFtEds { pds: 0.5 }.configure(
+        FlConfig::default()
+            .with_rounds(STREAM_ROUNDS)
+            .with_local_epochs(1)
+            .with_batch_size(8)
+            .with_seed(SEED)
+            .with_logical_clients(STREAM_LOGICAL_CLIENTS)
+            .with_participation(STREAM_PARTICIPANTS as f64 / STREAM_LOGICAL_CLIENTS as f64)
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_feature_cache(true),
+    )
+}
+
+/// Runs the streaming serving scenario and checks its contracts:
+/// buffered continuous aggregation over a 100k-logical-client pool must
+/// stay inside a fixed cache byte budget (evicting to do so), and — on
+/// multi-core hosts, same gate as the parallel speedup check — must
+/// sustain at least the sequential backend's aggregated-updates/sec.
+fn run_streaming_pool(assert_throughput: bool) -> Result<StreamReport, Box<dyn std::error::Error>> {
+    let (fed, model) = stream_setup()?;
+    let params = StreamingParams::new(STREAM_BUFFER)
+        .with_max_staleness(2)
+        .with_arrival(ArrivalModel::Burst {
+            mean_offset_seconds: 2.0,
+        });
+    let timed = |label: &'static str,
+                 config: FlConfig|
+     -> Result<(RunResult, f64), Box<dyn std::error::Error>> {
+        let sim = Simulation::new(config)?;
+        let start = Instant::now();
+        let result = sim.run_labelled(label, &fed, &model)?;
+        Ok((result, start.elapsed().as_secs_f64()))
+    };
+
+    // The unbudgeted run measures the deduplicated working set under
+    // streaming churn; the budget is then set below it so the registry must
+    // evict to stay legal.
+    let (unbounded, _) = timed("stream_unbounded", stream_config().with_streaming(params))?;
+    let dedup_bytes = unbounded.peak_cache_bytes();
+    let budget_bytes = (dedup_bytes / 2).max(1);
+    let (streaming, streaming_elapsed_seconds) = timed(
+        "stream_budgeted",
+        stream_config()
+            .with_streaming(params)
+            .with_cache_budget(budget_bytes),
+    )?;
+    if streaming.learning_history() != unbounded.learning_history() {
+        return Err("streaming pool: budgeted history diverged from unbounded \
+                    — determinism contract broken"
+            .into());
+    }
+    let peak_bytes = streaming.peak_cache_bytes();
+    if peak_bytes > budget_bytes {
+        return Err(format!(
+            "streaming pool: peak cache bytes {peak_bytes} exceed the budget {budget_bytes}"
+        )
+        .into());
+    }
+    if streaming.total_cache_evictions() == 0 {
+        return Err("streaming pool: a budget below the working set must evict".into());
+    }
+    if streaming.flush_count() != streaming.rounds.len() {
+        return Err("streaming pool: every streaming round must record a flush".into());
+    }
+
+    // Sequential baseline over the *same* cohort and cache budget: the
+    // streaming backend trains its arrivals through the parallel executor,
+    // so on a multi-core host it must sustain at least the sequential
+    // aggregated-updates/sec.
+    let (sequential, sequential_elapsed_seconds) = timed(
+        "stream_sequential",
+        stream_config().serial().with_cache_budget(budget_bytes),
+    )?;
+    let streaming_updates = streaming.total_aggregated_updates();
+    let sequential_updates = sequential.total_aggregated_updates();
+    let streaming_updates_per_sec = streaming_updates as f64 / streaming_elapsed_seconds;
+    let sequential_updates_per_sec = sequential_updates as f64 / sequential_elapsed_seconds;
+    if assert_throughput && streaming_updates_per_sec * NOISE_ALLOWANCE < sequential_updates_per_sec
+    {
+        return Err(format!(
+            "streaming pool: {streaming_updates_per_sec:.1} updates/sec falls short of the \
+             sequential backend's {sequential_updates_per_sec:.1}"
+        )
+        .into());
+    }
+    Ok(StreamReport {
+        budget_bytes,
+        peak_bytes,
+        dedup_bytes,
+        hits: streaming.total_cache_hits(),
+        misses: streaming.total_cache_misses(),
+        evictions: streaming.total_cache_evictions(),
+        flushes: streaming.flush_count(),
+        buffer_full_flushes: streaming.flush_count_for(FlushTrigger::BufferFull),
+        timeout_flushes: streaming.flush_count_for(FlushTrigger::Timeout),
+        drain_flushes: streaming.flush_count_for(FlushTrigger::Drain),
+        carried_updates: streaming.total_carried_updates(),
+        streaming_updates,
+        streaming_elapsed_seconds,
+        streaming_updates_per_sec,
+        sequential_updates,
+        sequential_elapsed_seconds,
+        sequential_updates_per_sec,
+    })
+}
+
 fn assert_speedup_enabled(cores: usize) -> bool {
     match std::env::var("FEDFT_SCALING_ASSERT").as_deref() {
         Ok("0") => false,
@@ -241,6 +409,7 @@ fn render_json(
     measurements: &[Measurement],
     asserted: bool,
     pool: &PoolReport,
+    stream: &StreamReport,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -293,6 +462,47 @@ fn render_json(
         out,
         "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
         pool.hits, pool.misses, pool.evictions
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"streaming\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"scenario\": \"{STREAM_LOGICAL_CLIENTS} logical clients over {STREAM_SHARDS} \
+         shards, {STREAM_ROUNDS} flush intervals, ~{STREAM_PARTICIPANTS} arrivals per \
+         interval, K={STREAM_BUFFER}, burst arrivals, staleness bound 2\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"updates_per_sec\": {{\"streaming\": {:.2}, \"sequential\": {:.2}}},",
+        stream.streaming_updates_per_sec, stream.sequential_updates_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"aggregated_updates\": {{\"streaming\": {}, \"sequential\": {}}},",
+        stream.streaming_updates, stream.sequential_updates
+    );
+    let _ = writeln!(
+        out,
+        "    \"elapsed_seconds\": {{\"streaming\": {:.4}, \"sequential\": {:.4}}},",
+        stream.streaming_elapsed_seconds, stream.sequential_elapsed_seconds
+    );
+    let _ = writeln!(
+        out,
+        "    \"flushes\": {{\"total\": {}, \"buffer_full\": {}, \"timeout\": {}, \
+         \"drain\": {}, \"carried_updates\": {}}},",
+        stream.flushes,
+        stream.buffer_full_flushes,
+        stream.timeout_flushes,
+        stream.drain_flushes,
+        stream.carried_updates
+    );
+    let _ = writeln!(out, "    \"budget_bytes\": {},", stream.budget_bytes);
+    let _ = writeln!(out, "    \"peak_bytes\": {},", stream.peak_bytes);
+    let _ = writeln!(out, "    \"dedup_bytes\": {},", stream.dedup_bytes);
+    let _ = writeln!(
+        out,
+        "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+        stream.hits, stream.misses, stream.evictions
     );
     out.push_str("  }\n}\n");
     out
@@ -436,7 +646,47 @@ fn main() -> ExitCode {
         }
     };
 
-    let json = render_json(cores, &measurements, asserted, &pool);
+    // Streaming serving mode: buffered continuous aggregation over a 100k
+    // logical cohort — cache budget + throughput contracts.
+    println!(
+        "streaming pool: {STREAM_LOGICAL_CLIENTS} logical clients over {STREAM_SHARDS} shards, \
+         {STREAM_ROUNDS} flush intervals, K={STREAM_BUFFER}"
+    );
+    let stream = match run_streaming_pool(asserted) {
+        Ok(report) => {
+            println!(
+                "  {:.1} updates/sec streaming vs {:.1} sequential ({} vs {} updates aggregated)",
+                report.streaming_updates_per_sec,
+                report.sequential_updates_per_sec,
+                report.streaming_updates,
+                report.sequential_updates
+            );
+            println!(
+                "  flushes {} (buffer-full {}, timeout {}, drain {})  carried {}",
+                report.flushes,
+                report.buffer_full_flushes,
+                report.timeout_flushes,
+                report.drain_flushes,
+                report.carried_updates
+            );
+            println!(
+                "  budget {} B, peak {} B, dedup set {} B  (hits {}  misses {}  evictions {})",
+                report.budget_bytes,
+                report.peak_bytes,
+                report.dedup_bytes,
+                report.hits,
+                report.misses,
+                report.evictions
+            );
+            report
+        }
+        Err(e) => {
+            eprintln!("scaling_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = render_json(cores, &measurements, asserted, &pool, &stream);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("scaling_smoke: cannot write `{out_path}`: {e}");
         return ExitCode::from(2);

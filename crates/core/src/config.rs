@@ -2,7 +2,7 @@
 
 use crate::cache::CacheScope;
 use crate::device::HeterogeneityModel;
-use crate::executor::ExecutionBackend;
+use crate::executor::{ExecutionBackend, StreamingParams};
 use crate::selection::SelectionStrategy;
 use crate::{CostModel, FlError, Result};
 use fedft_nn::{FreezeLevel, SgdConfig};
@@ -115,7 +115,10 @@ pub struct FlConfig {
     /// of the simulation; `Deadline` additionally drops stragglers based on
     /// the heterogeneity model and deadline; `Async` overlaps rounds under a
     /// bounded-staleness discipline (and reduces to `Sequential` at
-    /// `max_staleness = 0` when no tier has an offline probability).
+    /// `max_staleness = 0` when no tier has an offline probability);
+    /// `Streaming` serves a continuous arrival process with FedBuff-style
+    /// buffered flushes (and reduces to `Sequential` under its degenerate
+    /// parameters — see [`crate::executor::StreamingExecutor`]).
     pub execution: ExecutionBackend,
 }
 
@@ -250,15 +253,40 @@ impl FlConfig {
         self
     }
 
-    /// Validates the configuration.
+    /// Selects streaming buffered execution
+    /// (shorthand for [`ExecutionBackend::Streaming`]).
+    pub fn with_streaming(mut self, params: StreamingParams) -> Self {
+        self.execution = ExecutionBackend::Streaming(params);
+        self
+    }
+
+    /// Validates the configuration, one concern at a time.
     ///
     /// # Errors
     ///
     /// Returns [`FlError::InvalidConfig`] for zero rounds/epochs/batch size,
     /// a participation fraction outside `(0, 1]`, an invalid optimiser
-    /// configuration, an invalid selection strategy or a non-positive
-    /// FedProx μ.
+    /// configuration, an invalid selection strategy, a non-positive FedProx
+    /// μ, invalid execution knobs (non-positive deadline, bad streaming
+    /// parameters, or a finite deadline combined with the async or streaming
+    /// backend — those replace deadline drops with their own scheduling), or
+    /// invalid cache/pool knobs (zero logical clients, a zero byte budget,
+    /// or a budget under [`CacheScope::PerClient`]).
     pub fn validate(&self) -> Result<()> {
+        self.validate_round_loop()?;
+        self.validate_population()?;
+        self.validate_local_objective()?;
+        self.validate_execution()?;
+        self.validate_cache()?;
+        self.sgd.validate().map_err(FlError::from)?;
+        self.selection.validate()?;
+        self.cost.validate()?;
+        self.heterogeneity.validate()?;
+        Ok(())
+    }
+
+    /// The round loop itself: rounds, local epochs, batch size.
+    fn validate_round_loop(&self) -> Result<()> {
         if self.rounds == 0 {
             return Err(FlError::InvalidConfig {
                 what: "rounds must be non-zero".into(),
@@ -274,6 +302,11 @@ impl FlConfig {
                 what: "batch_size must be non-zero".into(),
             });
         }
+        Ok(())
+    }
+
+    /// The client population: participation fraction and the logical pool.
+    fn validate_population(&self) -> Result<()> {
         if !(self.participation > 0.0 && self.participation <= 1.0) {
             return Err(FlError::InvalidConfig {
                 what: format!(
@@ -282,6 +315,16 @@ impl FlConfig {
                 ),
             });
         }
+        if self.logical_clients == Some(0) {
+            return Err(FlError::InvalidConfig {
+                what: "logical_clients must be non-zero when set".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The local objective optimised on clients.
+    fn validate_local_objective(&self) -> Result<()> {
         if let LocalAlgorithm::FedProx { mu } = self.algorithm {
             if !(mu.is_finite() && mu > 0.0) {
                 return Err(FlError::InvalidConfig {
@@ -289,6 +332,12 @@ impl FlConfig {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Execution scheduling: the deadline knob, per-backend parameters, and
+    /// conflicting knob combinations.
+    fn validate_execution(&self) -> Result<()> {
         if self.deadline_seconds.is_nan() || self.deadline_seconds <= 0.0 {
             return Err(FlError::InvalidConfig {
                 what: format!(
@@ -308,11 +357,23 @@ impl FlConfig {
                 ),
             });
         }
-        if self.logical_clients == Some(0) {
-            return Err(FlError::InvalidConfig {
-                what: "logical_clients must be non-zero when set".into(),
-            });
+        if let ExecutionBackend::Streaming(params) = &self.execution {
+            if self.deadline_seconds.is_finite() {
+                return Err(FlError::InvalidConfig {
+                    what: format!(
+                        "the streaming backend replaces deadline drops with buffered \
+                         flushes; leave deadline_seconds infinite (got {})",
+                        self.deadline_seconds
+                    ),
+                });
+            }
+            params.validate()?;
         }
+        Ok(())
+    }
+
+    /// The feature cache and its shared registry.
+    fn validate_cache(&self) -> Result<()> {
         if self.cache_budget_bytes == Some(0) {
             return Err(FlError::InvalidConfig {
                 what: "cache_budget_bytes must be non-zero when set \
@@ -327,10 +388,6 @@ impl FlConfig {
                     .into(),
             });
         }
-        self.sgd.validate().map_err(FlError::from)?;
-        self.selection.validate()?;
-        self.cost.validate()?;
-        self.heterogeneity.validate()?;
         Ok(())
     }
 }
@@ -443,6 +500,53 @@ mod tests {
             .is_err());
         assert!(FlConfig::default()
             .with_async(2)
+            .with_deadline(f64::INFINITY)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn streaming_backend_knob_applies_and_validates() {
+        use crate::device::ArrivalModel;
+        let params = StreamingParams::new(32)
+            .with_flush_seconds(60.0)
+            .with_max_staleness(2)
+            .with_arrival(ArrivalModel::Burst {
+                mean_offset_seconds: 10.0,
+            });
+        let c = FlConfig::default().with_streaming(params);
+        assert_eq!(c.execution, ExecutionBackend::Streaming(params));
+        assert!(c.validate().is_ok());
+        // The degenerate configuration (K buffer, steady, staleness 0) is
+        // valid — it is the bit-identity contract's anchor.
+        assert!(FlConfig::default()
+            .with_streaming(StreamingParams::new(8))
+            .validate()
+            .is_ok());
+        // Bad streaming parameters are caught at config validation.
+        assert!(FlConfig::default()
+            .with_streaming(StreamingParams::new(0))
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_streaming(StreamingParams::new(8).with_flush_seconds(0.0))
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_streaming(StreamingParams::new(8).with_arrival(ArrivalModel::Burst {
+                mean_offset_seconds: f64::NAN,
+            }))
+            .validate()
+            .is_err());
+        // Deadlines are a synchronous concept: rejected under streaming,
+        // exactly like under async.
+        assert!(FlConfig::default()
+            .with_streaming(StreamingParams::new(8))
+            .with_deadline(10.0)
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_streaming(StreamingParams::new(8))
             .with_deadline(f64::INFINITY)
             .validate()
             .is_ok());

@@ -20,7 +20,10 @@
 //!
 //! * `"device-tier"` (indexed by client id) — the one-time tier assignment,
 //! * `"device-availability"` (indexed by `(client id << 32) | round`) — the
-//!   per-round offline draw.
+//!   per-round offline draw,
+//! * `"client-arrival"` (indexed by `(client id << 32) | round`) — the
+//!   per-round arrival-offset draw of the streaming backend's
+//!   [`ArrivalModel`].
 //!
 //! Each draw constructs its own generator from `(seed, label, index)`, so
 //! results are independent of call order and of the execution backend.
@@ -375,6 +378,135 @@ impl HeterogeneityModel {
     }
 }
 
+/// When a sampled client becomes available to start training after its
+/// round is announced, as a simulated-seconds offset drawn per
+/// `(client, round)` from the dedicated `"client-arrival"` RNG stream.
+///
+/// Arrival models drive the streaming backend
+/// ([`crate::executor::StreamingExecutor`]): where the offline draw answers
+/// *whether* a device shows up at all, the arrival model answers *when*.
+/// Like every other device stream, draws are indexed by
+/// `(client_id << 32) | round`, so enabling arrivals never perturbs tier
+/// assignment, availability or participation histories, and offsets are
+/// independent of call order and execution backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Every client is ready the instant its round is announced (offset
+    /// exactly `0.0`, no RNG draw) — the degenerate model under which
+    /// streaming reproduces synchronous histories.
+    #[default]
+    Steady,
+    /// Memoryless churn: offsets are exponentially distributed, so most
+    /// clients arrive quickly and a long tail trickles in.
+    Burst {
+        /// Mean arrival offset in simulated seconds (must be positive).
+        mean_offset_seconds: f64,
+    },
+    /// A day/night cycle compressed into one period: the monotone warp
+    /// `t(u) = P·u − s·(P/2π)·sin(2πu)` of a uniform draw `u` concentrates
+    /// arrivals around the cycle's peak — the wrapped instant at offsets
+    /// `≈ 0` and `≈ P` — and thins them out mid-period (the "night").
+    Diurnal {
+        /// Length of one activity cycle in simulated seconds (positive).
+        period_seconds: f64,
+        /// How strongly arrivals bunch at the peak, in `[0, 1)`: `0` is a
+        /// uniform spread over the period, values near `1` concentrate most
+        /// arrivals around the peak.
+        peak_sharpness: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Short name used in reports and labels.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ArrivalModel::Steady => "steady",
+            ArrivalModel::Burst { .. } => "burst",
+            ArrivalModel::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for a non-positive or non-finite
+    /// burst mean, a non-positive or non-finite diurnal period, or a peak
+    /// sharpness outside `[0, 1)` (the warp stops being monotone at `1`).
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            ArrivalModel::Steady => Ok(()),
+            ArrivalModel::Burst {
+                mean_offset_seconds,
+            } => {
+                if !(mean_offset_seconds.is_finite() && mean_offset_seconds > 0.0) {
+                    return Err(FlError::InvalidConfig {
+                        what: format!(
+                            "burst arrival model: mean offset must be positive and finite, \
+                             got {mean_offset_seconds}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            ArrivalModel::Diurnal {
+                period_seconds,
+                peak_sharpness,
+            } => {
+                if !(period_seconds.is_finite() && period_seconds > 0.0) {
+                    return Err(FlError::InvalidConfig {
+                        what: format!(
+                            "diurnal arrival model: period must be positive and finite, \
+                             got {period_seconds}"
+                        ),
+                    });
+                }
+                if !(peak_sharpness.is_finite() && (0.0..1.0).contains(&peak_sharpness)) {
+                    return Err(FlError::InvalidConfig {
+                        what: format!(
+                            "diurnal arrival model: peak sharpness must be in [0, 1), \
+                             got {peak_sharpness}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The client's arrival offset for `round`, in simulated seconds after
+    /// the round is announced. Always finite and non-negative; `Steady`
+    /// returns `0.0` without touching the RNG, and `Diurnal` offsets are
+    /// bounded by one period.
+    ///
+    /// One draw from the `"client-arrival"` stream indexed by
+    /// `(client_id << 32) | round`: deterministic in
+    /// `(seed, client_id, round)` and independent of call order.
+    pub fn arrival_offset_seconds(&self, client_id: usize, round: usize, seed: u64) -> f64 {
+        if matches!(self, ArrivalModel::Steady) {
+            return 0.0;
+        }
+        let index = ((client_id as u64) << 32) | round as u64;
+        let mut r = rng::rng_for_indexed(seed, "client-arrival", index);
+        let u: f64 = r.gen::<f64>();
+        match *self {
+            ArrivalModel::Steady => 0.0,
+            // Inverse-CDF of Exp(1/mean); u < 1, so ln(1 − u) is finite.
+            ArrivalModel::Burst {
+                mean_offset_seconds,
+            } => -mean_offset_seconds * (1.0 - u).ln(),
+            ArrivalModel::Diurnal {
+                period_seconds,
+                peak_sharpness,
+            } => {
+                let two_pi = 2.0 * std::f64::consts::PI;
+                period_seconds * u
+                    - peak_sharpness * (period_seconds / two_pi) * (two_pi * u).sin()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +632,177 @@ mod tests {
         assert!((t_fast - 12.0).abs() < 1e-9);
         // Slow tier: 40 s compute + 2 s down + 2 s up.
         assert!((t_slow - 44.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_arrivals_are_exactly_zero() {
+        let m = ArrivalModel::Steady;
+        assert!(m.validate().is_ok());
+        for client in 0..32 {
+            for round in 0..8 {
+                assert_eq!(m.arrival_offset_seconds(client, round, 11), 0.0);
+            }
+        }
+        assert_eq!(m.short_name(), "steady");
+        assert_eq!(ArrivalModel::default(), ArrivalModel::Steady);
+    }
+
+    #[test]
+    fn arrival_offsets_are_deterministic_in_seed_client_and_round() {
+        for model in [
+            ArrivalModel::Burst {
+                mean_offset_seconds: 5.0,
+            },
+            ArrivalModel::Diurnal {
+                period_seconds: 60.0,
+                peak_sharpness: 0.8,
+            },
+        ] {
+            let a: Vec<f64> = (0..64)
+                .map(|i| model.arrival_offset_seconds(i % 8, i / 8, 3))
+                .collect();
+            let b: Vec<f64> = (0..64)
+                .map(|i| model.arrival_offset_seconds(i % 8, i / 8, 3))
+                .collect();
+            assert_eq!(a, b, "{model:?} must be replayable");
+            let other_seed: Vec<f64> = (0..64)
+                .map(|i| model.arrival_offset_seconds(i % 8, i / 8, 4))
+                .collect();
+            assert_ne!(a, other_seed, "{model:?} must depend on the seed");
+            // Distinct (client, round) pairs draw from distinct stream
+            // indices, so offsets differ between clients and between rounds.
+            assert_ne!(
+                model.arrival_offset_seconds(0, 0, 3),
+                model.arrival_offset_seconds(1, 0, 3)
+            );
+            assert_ne!(
+                model.arrival_offset_seconds(0, 0, 3),
+                model.arrival_offset_seconds(0, 1, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn burst_offsets_match_the_configured_mean_rate() {
+        let mean = 7.5;
+        let model = ArrivalModel::Burst {
+            mean_offset_seconds: mean,
+        };
+        let n = 2000;
+        let sum: f64 = (0..n)
+            .map(|i| {
+                let t = model.arrival_offset_seconds(i, 0, 9);
+                assert!(t.is_finite() && t >= 0.0);
+                t
+            })
+            .sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - mean).abs() < mean * 0.15,
+            "empirical mean {empirical} far from configured {mean}"
+        );
+    }
+
+    #[test]
+    fn diurnal_offsets_stay_inside_one_period_and_bunch_at_the_peak() {
+        let period = 100.0;
+        let flat = ArrivalModel::Diurnal {
+            period_seconds: period,
+            peak_sharpness: 0.0,
+        };
+        let peaked = ArrivalModel::Diurnal {
+            period_seconds: period,
+            peak_sharpness: 0.95,
+        };
+        let n = 2000;
+        // The peak is the wrapped instant at offsets ≈ 0 and ≈ P; measure
+        // the mass within a quarter-period of it on either side.
+        let near_peak = |m: &ArrivalModel| {
+            (0..n)
+                .filter(|&i| {
+                    let t = m.arrival_offset_seconds(i, 1, 2);
+                    assert!((0.0..=period).contains(&t), "offset {t} left [0, {period}]");
+                    t < period / 4.0 || t > 3.0 * period / 4.0
+                })
+                .count()
+        };
+        let flat_peak = near_peak(&flat) as f64 / n as f64;
+        let peaked_peak = near_peak(&peaked) as f64 / n as f64;
+        assert!(
+            (flat_peak - 0.5).abs() < 0.05,
+            "sharpness 0 must spread uniformly, got {flat_peak} near the peak"
+        );
+        assert!(
+            peaked_peak > flat_peak + 0.1,
+            "sharpness must concentrate arrivals at the peak ({peaked_peak} vs {flat_peak})"
+        );
+    }
+
+    #[test]
+    fn arrival_validation_rejects_bad_parameters() {
+        for bad in [
+            ArrivalModel::Burst {
+                mean_offset_seconds: 0.0,
+            },
+            ArrivalModel::Burst {
+                mean_offset_seconds: -1.0,
+            },
+            ArrivalModel::Burst {
+                mean_offset_seconds: f64::NAN,
+            },
+            ArrivalModel::Burst {
+                mean_offset_seconds: f64::INFINITY,
+            },
+            ArrivalModel::Diurnal {
+                period_seconds: 0.0,
+                peak_sharpness: 0.5,
+            },
+            ArrivalModel::Diurnal {
+                period_seconds: 10.0,
+                peak_sharpness: 1.0,
+            },
+            ArrivalModel::Diurnal {
+                period_seconds: 10.0,
+                peak_sharpness: -0.1,
+            },
+            ArrivalModel::Diurnal {
+                period_seconds: f64::NAN,
+                peak_sharpness: 0.5,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+        assert!(ArrivalModel::Burst {
+            mean_offset_seconds: 3.0
+        }
+        .validate()
+        .is_ok());
+        assert!(ArrivalModel::Diurnal {
+            period_seconds: 60.0,
+            peak_sharpness: 0.0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn arrival_draws_leave_the_availability_stream_untouched() {
+        // Arrival offsets come from their own labelled stream: drawing them
+        // must never change what the offline draw for the same (client,
+        // round) index returns.
+        let m = HeterogeneityModel::from_tiers(vec![
+            DeviceTier::new("flaky", 1.0, 1.0).with_drop_probability(0.4)
+        ]);
+        let profile = m.profile_for(3, 5);
+        let before: Vec<bool> = (0..50).map(|r| m.is_offline(&profile, r, 5)).collect();
+        let burst = ArrivalModel::Burst {
+            mean_offset_seconds: 2.0,
+        };
+        for r in 0..50 {
+            let _ = burst.arrival_offset_seconds(3, r, 5);
+        }
+        let after: Vec<bool> = (0..50).map(|r| m.is_offline(&profile, r, 5)).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

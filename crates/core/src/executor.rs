@@ -3,7 +3,7 @@
 //! Each round of [`crate::Simulation`] trains every participating client
 //! against the current global model. How those independent local updates are
 //! scheduled is an execution concern, not an algorithmic one, so it lives
-//! behind the [`RoundExecutor`] trait with four implementations:
+//! behind the [`RoundExecutor`] trait with five implementations:
 //!
 //! * [`SequentialExecutor`] — one client after another on the calling
 //!   thread. The reference behaviour.
@@ -32,9 +32,21 @@
 //!   `max_staleness = 0` (and no offline probability) dispatch stalls until
 //!   the current version exists and the executor degenerates to a
 //!   synchronous round loop, bit for bit.
+//! * [`StreamingExecutor`] — continuous serving over the same event clock:
+//!   clients *arrive* after their round is announced (per an
+//!   [`ArrivalModel`] on its own RNG stream), train on the freshest
+//!   published model, and their finished updates queue in a server-side
+//!   buffer that is flushed FedBuff-style every `K` updates or `T`
+//!   simulated seconds — so a round's aggregation can carry updates
+//!   dispatched in earlier rounds. With `K =` cohort size, steady arrivals
+//!   and staleness bound 0 every flush is exactly one full synchronous
+//!   round, bit for bit.
 //!
 //! The backend is selected by the [`ExecutionBackend`] knob on
-//! [`FlConfig`]; simulation code only sees the trait.
+//! [`FlConfig`]; simulation code only sees the trait, and
+//! [`ExecutionBackend::executor`] is the single construction point for all
+//! five (the scheduling executors expose only `over(..)` for wrapping a
+//! custom inner executor in tests).
 //!
 //! Every backend passes the [`FlConfig`] through to the clients untouched,
 //! so the [`FlConfig::feature_cache`] knob behaves identically under each:
@@ -43,12 +55,12 @@
 //! frozen backbone's fingerprint and the shard's checksum, both invariant
 //! across rounds *and* across the async backend's model versions (only `θ`
 //! differs), so cached rounds replay uncached histories bit for bit on all
-//! four executors — pinned by `tests/feature_cache_e2e.rs` and
+//! five executors — pinned by `tests/feature_cache_e2e.rs` and
 //! `tests/logical_pool_e2e.rs`.
 
 use crate::client::{Client, ClientUpdate};
 use crate::config::FlConfig;
-use crate::device::{DeviceProfile, HeterogeneityModel};
+use crate::device::{ArrivalModel, DeviceProfile, HeterogeneityModel};
 use crate::{FlError, Result};
 use fedft_nn::{BlockNet, ParamVector};
 use serde::{Deserialize, Serialize};
@@ -64,7 +76,11 @@ use std::sync::Mutex;
 /// to the other backends' results when those knobs are neutral). `Async`
 /// overlaps aggregation rounds under a staleness bound: results depend on
 /// `max_staleness` and reduce to `Sequential` at `max_staleness = 0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// `Streaming` buffers completed updates and flushes them FedBuff-style:
+/// results depend on its [`StreamingParams`] and reduce to `Sequential` in
+/// the degenerate configuration (buffer = cohort size, steady arrivals,
+/// staleness bound 0).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ExecutionBackend {
     /// Train selected clients one after another on the calling thread.
     Sequential,
@@ -89,6 +105,12 @@ pub enum ExecutionBackend {
         /// exactly as they do under `Deadline`).
         max_staleness: usize,
     },
+    /// Streaming serving mode: sampled clients arrive per the configured
+    /// [`ArrivalModel`], completed updates queue in a server-side buffer,
+    /// and the buffer is flushed — aggregated with staleness discounting —
+    /// every `buffer_size` updates or `flush_seconds` simulated seconds,
+    /// whichever comes first.
+    Streaming(StreamingParams),
 }
 
 impl ExecutionBackend {
@@ -99,19 +121,114 @@ impl ExecutionBackend {
             ExecutionBackend::Parallel => "par",
             ExecutionBackend::Deadline => "ddl",
             ExecutionBackend::Async { .. } => "async",
+            ExecutionBackend::Streaming(..) => "stream",
         }
     }
 
-    /// Instantiates the executor for this backend.
+    /// Instantiates the executor for this backend — the single construction
+    /// point the simulation (and everything above it) goes through. The
+    /// scheduling backends (`Deadline`, `Async`, `Streaming`) train their
+    /// survivors through a [`ParallelExecutor`].
     pub fn executor(&self) -> Box<dyn RoundExecutor> {
         match self {
             ExecutionBackend::Sequential => Box::new(SequentialExecutor),
             ExecutionBackend::Parallel => Box::new(ParallelExecutor::new()),
-            ExecutionBackend::Deadline => Box::new(DeadlineExecutor::new()),
-            ExecutionBackend::Async { max_staleness } => {
-                Box::new(AsyncExecutor::new(*max_staleness))
+            ExecutionBackend::Deadline => Box::new(DeadlineExecutor::over(ParallelExecutor::new())),
+            ExecutionBackend::Async { max_staleness } => Box::new(AsyncExecutor::over(
+                *max_staleness,
+                ParallelExecutor::new(),
+            )),
+            ExecutionBackend::Streaming(params) => {
+                Box::new(StreamingExecutor::over(*params, ParallelExecutor::new()))
             }
         }
+    }
+}
+
+/// Parameters of the streaming backend's buffered-aggregation loop.
+///
+/// The server flushes its update buffer as soon as either condition is met:
+/// `buffer_size` completed updates are queued (FedBuff's `K`), or
+/// `flush_seconds` of simulated time have passed since the round was
+/// announced (`T`; `f64::INFINITY` disables the timer). Updates still in
+/// flight at a flush stay buffered and are aggregated by a later round,
+/// discounted by how many versions they lagged
+/// ([`crate::Server::aggregate_buffered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingParams {
+    /// Flush as soon as this many completed updates are buffered (≥ 1).
+    pub buffer_size: usize,
+    /// Flush at most this many simulated seconds after the round is
+    /// announced, even if the buffer is not full. Must be positive;
+    /// `f64::INFINITY` (the [`StreamingParams::new`] default) disables the
+    /// timer.
+    pub flush_seconds: f64,
+    /// Largest number of global-model versions a client may be *dispatched*
+    /// behind (the same bound [`ExecutionBackend::Async`] enforces): a
+    /// cohort sampled for round `r` is invited once version
+    /// `r − max_staleness` exists. Staleness at *aggregation* can exceed
+    /// this when updates sit in the buffer across flushes — the discount
+    /// uses the actual lag.
+    pub max_staleness: usize,
+    /// When sampled clients become available after their round is announced.
+    pub arrival: ArrivalModel,
+}
+
+impl StreamingParams {
+    /// Streaming parameters that flush every `buffer_size` updates, with no
+    /// flush timer, staleness bound 0 and steady arrivals — the degenerate
+    /// configuration when `buffer_size` equals the cohort size.
+    pub fn new(buffer_size: usize) -> Self {
+        StreamingParams {
+            buffer_size,
+            flush_seconds: f64::INFINITY,
+            max_staleness: 0,
+            arrival: ArrivalModel::Steady,
+        }
+    }
+
+    /// Sets the flush timer (simulated seconds; `f64::INFINITY` disables).
+    #[must_use]
+    pub fn with_flush_seconds(mut self, seconds: f64) -> Self {
+        self.flush_seconds = seconds;
+        self
+    }
+
+    /// Sets the dispatch staleness bound.
+    #[must_use]
+    pub fn with_max_staleness(mut self, max_staleness: usize) -> Self {
+        self.max_staleness = max_staleness;
+        self
+    }
+
+    /// Sets the arrival model.
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalModel) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for a zero buffer size, a
+    /// non-positive or NaN flush timer, or an invalid arrival model.
+    pub fn validate(&self) -> Result<()> {
+        if self.buffer_size == 0 {
+            return Err(FlError::InvalidConfig {
+                what: "streaming buffer_size must be non-zero".into(),
+            });
+        }
+        if self.flush_seconds.is_nan() || self.flush_seconds <= 0.0 {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "streaming flush_seconds must be positive (or infinite), got {}",
+                    self.flush_seconds
+                ),
+            });
+        }
+        self.arrival.validate()
     }
 }
 
@@ -138,7 +255,8 @@ pub struct DroppedClient {
     pub simulated_seconds: f64,
 }
 
-/// Dispatch/arrival bookkeeping of one asynchronously scheduled update.
+/// Dispatch/arrival bookkeeping of one scheduled update — shared by every
+/// scheduling backend (`Deadline`, `Async`, `Streaming`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UpdateTiming {
     /// Id of the client that produced the update.
@@ -154,19 +272,59 @@ pub struct UpdateTiming {
     pub simulated_seconds: f64,
 }
 
-/// Round-level timing the async scheduler attaches to a [`RoundOutcome`].
+/// Why the streaming backend flushed its update buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushTrigger {
+    /// `buffer_size` completed updates were queued.
+    BufferFull,
+    /// `flush_seconds` of simulated time passed before the buffer filled.
+    Timeout,
+    /// Neither condition could fire (fewer completions than the buffer size
+    /// and no flush timer): the server drained whatever completed so the
+    /// round could close.
+    Drain,
+}
+
+/// Bookkeeping of one buffered flush of the streaming backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlushRecord {
+    /// What fired the flush.
+    pub trigger: FlushTrigger,
+    /// Updates sitting in the buffer (completed or in flight) when the
+    /// flush decision was made.
+    pub buffer_fill: usize,
+    /// Flushed updates that were dispatched in an *earlier* round and
+    /// carried over in the buffer.
+    pub carried: usize,
+    /// Clients newly dispatched in this round (this round's arrivals).
+    pub arrivals: usize,
+    /// Updates still in flight after the flush, carried to the next round.
+    pub remaining: usize,
+}
+
+/// Round-level timing a scheduling backend attaches to a [`RoundOutcome`] —
+/// backend-agnostic: `Deadline` fills it with the slowest-survivor wall
+/// clock, `Async` with overlap accounting, `Streaming` additionally with a
+/// [`FlushRecord`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct AsyncRoundTiming {
+pub struct RoundTiming {
     /// Per-update timing, parallel to [`RoundOutcome::updates`].
     pub per_update: Vec<UpdateTiming>,
     /// Simulated wall-clock between this round's aggregation and the
     /// previous one. Overlap makes this *shorter* than the slowest client's
     /// duration: stragglers started under earlier versions.
     pub round_wall_seconds: f64,
+    /// Buffered-flush bookkeeping, present only on the streaming backend.
+    pub flush: Option<FlushRecord>,
 }
 
 /// Everything a round executor reports back: one update per surviving
 /// participant (in participant order) plus the clients it dropped.
+///
+/// The streaming backend relaxes the participant-order reading: its updates
+/// are the *flushed buffer* in dispatch order — possibly fewer than this
+/// round's survivors (stragglers stay buffered) and possibly including
+/// clients dispatched in earlier rounds.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RoundOutcome {
     /// Updates of the clients that completed the round, in participant order.
@@ -174,10 +332,11 @@ pub struct RoundOutcome {
     /// Clients sampled for the round but dropped by the scheduler, in
     /// participant order. Empty for non-scheduling backends.
     pub drops: Vec<DroppedClient>,
-    /// Staleness and overlap timing, present only for the async backend
-    /// (synchronous backends always train on the freshest model, so their
-    /// wall clock is derived by the simulation instead).
-    pub timing: Option<AsyncRoundTiming>,
+    /// Staleness and wall-clock timing, attached by the scheduling backends
+    /// (`Deadline`, `Async`, `Streaming`). `None` for the plain
+    /// `Sequential`/`Parallel` backends, whose wall clock the simulation
+    /// derives itself.
+    pub timing: Option<RoundTiming>,
 }
 
 impl RoundOutcome {
@@ -396,30 +555,18 @@ fn resolve_or_drop_offline(
 ///    their updates.
 ///
 /// Dropped clients never train, mirroring a synchronous server that ignores
-/// late updates; the round's simulated wall-clock accounting is done by
-/// [`crate::Simulation`] from the outcome.
+/// late updates; the round's simulated wall clock (the slowest surviving
+/// device, or the full deadline when someone missed a finite one) is
+/// attached to the outcome as a [`RoundTiming`].
+///
+/// Construct via [`ExecutionBackend::executor`]; `over(..)` exists for
+/// wrapping a custom inner executor in tests.
 #[derive(Debug)]
 pub struct DeadlineExecutor {
     inner: Box<dyn RoundExecutor>,
 }
 
-impl Default for DeadlineExecutor {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 impl DeadlineExecutor {
-    /// A deadline scheduler training survivors on all cores.
-    pub fn new() -> Self {
-        Self::over(ParallelExecutor::new())
-    }
-
-    /// A deadline scheduler training survivors sequentially.
-    pub fn sequential() -> Self {
-        Self::over(SequentialExecutor)
-    }
-
     /// Wraps an arbitrary inner executor. Results are identical for every
     /// (correct) inner executor; only wall-clock time differs.
     pub fn over(inner: impl RoundExecutor + 'static) -> Self {
@@ -449,6 +596,7 @@ impl RoundExecutor for DeadlineExecutor {
         let flops = global_model.flops_per_sample(config.freeze);
         let traffic = crate::comm::round_traffic(global_model, config.freeze);
         let mut survivors: Vec<&Client> = Vec::with_capacity(participants.len());
+        let mut profiles: Vec<DeviceProfile> = Vec::with_capacity(participants.len());
         let mut drops: Vec<DroppedClient> = Vec::new();
         for &client in participants {
             let profile = match resolve_or_drop_offline(hetero, client, round, config.seed) {
@@ -475,6 +623,7 @@ impl RoundExecutor for DeadlineExecutor {
                 continue;
             }
             survivors.push(client);
+            profiles.push(profile);
         }
         let mut outcome = if survivors.is_empty() {
             // Every sampled client dropped: an empty round, not an error —
@@ -484,7 +633,44 @@ impl RoundExecutor for DeadlineExecutor {
             self.inner
                 .run_round(&survivors, global_model, config, round)?
         };
+        // Attach the synchronous round timing: every update trained on the
+        // freshest model (staleness 0, offset 0), the wall clock is the
+        // slowest survivor's *post-hoc* device-adjusted time — derived from
+        // the measured `compute_seconds`, exactly the fold the simulation
+        // applies to the plain backends, so neutral-knob histories stay
+        // bit-identical to `Sequential`.
+        let mut slowest = 0.0_f64;
+        let per_update: Vec<UpdateTiming> = outcome
+            .updates
+            .iter()
+            .zip(&profiles)
+            .map(|(update, profile)| {
+                let effective =
+                    hetero.simulated_round_seconds(profile, update.compute_seconds, &traffic);
+                slowest = slowest.max(effective);
+                UpdateTiming {
+                    client_id: update.client_id,
+                    staleness: 0,
+                    dispatch_offset_seconds: 0.0,
+                    simulated_seconds: effective,
+                }
+            })
+            .collect();
+        // A synchronous server cannot tell an offline device from a
+        // straggler: any drop means it waited out the full (finite)
+        // deadline. Without a deadline there is nothing to wait for, so
+        // drop-only rounds fall back to the slowest survivor.
+        let round_wall_seconds = if !drops.is_empty() && config.deadline_seconds.is_finite() {
+            config.deadline_seconds
+        } else {
+            slowest
+        };
         outcome.drops = drops;
+        outcome.timing = Some(RoundTiming {
+            per_update,
+            round_wall_seconds,
+            flush: None,
+        });
         Ok(outcome)
     }
 }
@@ -539,8 +725,8 @@ struct AsyncClock {
 /// dispatched under earlier versions, the per-round wall clock shrinks as
 /// `max_staleness` grows. The survivors' updates are computed by the inner
 /// executor, grouped by the model version they were dispatched against, and
-/// returned in participant order with an [`AsyncRoundTiming`] attached so
-/// the server can discount them by staleness
+/// returned in participant order with a [`RoundTiming`] attached so the
+/// server can discount them by staleness
 /// ([`crate::Server::aggregate_stale`]).
 ///
 /// With `max_staleness = 0` every dispatch stalls until the current version
@@ -560,6 +746,9 @@ struct AsyncClock {
 /// the current frozen backbone, exactly as a real client would combine its
 /// preinstalled backbone with a downloaded `θ`. Calling round 0 resets the
 /// clock, so one executor can serve consecutive runs.
+///
+/// Construct via [`ExecutionBackend::executor`]; `over(..)` exists for
+/// wrapping a custom inner executor in tests.
 #[derive(Debug)]
 pub struct AsyncExecutor {
     max_staleness: usize,
@@ -568,16 +757,6 @@ pub struct AsyncExecutor {
 }
 
 impl AsyncExecutor {
-    /// An async scheduler training dispatched clients on all cores.
-    pub fn new(max_staleness: usize) -> Self {
-        Self::over(max_staleness, ParallelExecutor::new())
-    }
-
-    /// An async scheduler training dispatched clients sequentially.
-    pub fn sequential(max_staleness: usize) -> Self {
-        Self::over(max_staleness, SequentialExecutor)
-    }
-
     /// Wraps an arbitrary inner executor. Results are identical for every
     /// (correct) inner executor; only real wall-clock time differs.
     pub fn over(max_staleness: usize, inner: impl RoundExecutor + 'static) -> Self {
@@ -592,6 +771,64 @@ impl AsyncExecutor {
     pub fn max_staleness(&self) -> usize {
         self.max_staleness
     }
+}
+
+/// Trains `dispatched` clients — each annotated with the model version it
+/// downloaded — through `inner`, grouped by version, and returns their
+/// updates **in the order of `dispatched`**. Stale versions are
+/// reconstructed as (current backbone, snapshotted θ from `history`): only
+/// the trainable part ever differs between versions. Shared by the async
+/// and streaming backends so version-group reconstruction cannot diverge
+/// between them.
+fn train_version_groups(
+    inner: &dyn RoundExecutor,
+    dispatched: &[(&Client, usize)],
+    history: &[(usize, ParamVector)],
+    global_model: &BlockNet,
+    config: &FlConfig,
+    round: usize,
+    current_version: usize,
+) -> Result<Vec<ClientUpdate>> {
+    let mut updates: Vec<Option<ClientUpdate>> = (0..dispatched.len()).map(|_| None).collect();
+    let mut versions: Vec<usize> = dispatched.iter().map(|&(_, v)| v).collect();
+    versions.sort_unstable();
+    versions.dedup();
+    // One scratch model serves every stale version: cloned lazily on the
+    // first stale group, then only its θ is rewritten per version.
+    let mut stale_scratch: Option<BlockNet> = None;
+    for v in versions {
+        let positions: Vec<usize> = dispatched
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, dv))| dv == v)
+            .map(|(i, _)| i)
+            .collect();
+        let group: Vec<&Client> = positions.iter().map(|&i| dispatched[i].0).collect();
+        // The current version is the model the caller just passed in; only
+        // genuinely stale dispatches reconstruct one from the shared
+        // backbone and the version's θ snapshot.
+        let model: &BlockNet = if v == current_version {
+            global_model
+        } else {
+            let theta = &history
+                .iter()
+                .find(|(hv, _)| *hv == v)
+                .expect("dispatched version is inside the retained window")
+                .1;
+            let scratch = stale_scratch.get_or_insert_with(|| global_model.clone());
+            scratch.set_trainable_vector(config.freeze, theta)?;
+            scratch
+        };
+        let outcome = inner.run_round(&group, model, config, round)?;
+        debug_assert_eq!(outcome.updates.len(), group.len());
+        for (position, update) in positions.into_iter().zip(outcome.updates) {
+            updates[position] = Some(update);
+        }
+    }
+    Ok(updates
+        .into_iter()
+        .map(|u| u.expect("every dispatched client trained"))
+        .collect())
 }
 
 /// One surviving participant's dispatch decision, before training.
@@ -706,47 +943,17 @@ impl RoundExecutor for AsyncExecutor {
         // Train survivors grouped by the model version they dispatched
         // against; scattering the groups back by position restores
         // participant order, so results match a one-by-one replay exactly.
-        let mut updates: Vec<Option<ClientUpdate>> = (0..dispatches.len()).map(|_| None).collect();
-        let mut versions: Vec<usize> = dispatches.iter().map(|d| d.version).collect();
-        versions.sort_unstable();
-        versions.dedup();
-        // One scratch model serves every stale version: cloned lazily on the
-        // first stale group, then only its θ is rewritten per version.
-        let mut stale_scratch: Option<BlockNet> = None;
-        for v in versions {
-            let positions: Vec<usize> = dispatches
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| d.version == v)
-                .map(|(i, _)| i)
-                .collect();
-            let group: Vec<&Client> = positions.iter().map(|&i| dispatches[i].client).collect();
-            // The current version is the model the caller just passed in;
-            // only genuinely stale dispatches reconstruct one from the
-            // shared backbone and the version's θ snapshot.
-            let model: &BlockNet = if v == round {
-                global_model
-            } else {
-                let theta = &clock
-                    .history
-                    .iter()
-                    .find(|(hv, _)| *hv == v)
-                    .expect("dispatched version is inside the retained window")
-                    .1;
-                let scratch = stale_scratch.get_or_insert_with(|| global_model.clone());
-                scratch.set_trainable_vector(config.freeze, theta)?;
-                scratch
-            };
-            let outcome = self.inner.run_round(&group, model, config, round)?;
-            debug_assert_eq!(outcome.updates.len(), group.len());
-            for (position, update) in positions.into_iter().zip(outcome.updates) {
-                updates[position] = Some(update);
-            }
-        }
-        let updates: Vec<ClientUpdate> = updates
-            .into_iter()
-            .map(|u| u.expect("every dispatched client trained"))
-            .collect();
+        let dispatched: Vec<(&Client, usize)> =
+            dispatches.iter().map(|d| (d.client, d.version)).collect();
+        let updates = train_version_groups(
+            self.inner.as_ref(),
+            &dispatched,
+            &clock.history,
+            global_model,
+            config,
+            round,
+            round,
+        )?;
         let per_update: Vec<UpdateTiming> = dispatches
             .iter()
             .map(|d| UpdateTiming {
@@ -762,9 +969,325 @@ impl RoundExecutor for AsyncExecutor {
         Ok(RoundOutcome {
             updates,
             drops,
-            timing: Some(AsyncRoundTiming {
+            timing: Some(RoundTiming {
                 per_update,
                 round_wall_seconds: round_wall,
+                flush: None,
+            }),
+        })
+    }
+}
+
+/// One completed-or-in-flight update queued in the streaming buffer.
+///
+/// Times are kept as offsets relative to the *dispatch round's* opening
+/// (not absolute): entries dispatched in the flushing round then enter the
+/// flush arithmetic without ever adding and re-subtracting the round's
+/// absolute opening time, which keeps the degenerate configuration's wall
+/// clock bit-identical to the synchronous backends'.
+#[derive(Debug)]
+struct PendingUpdate {
+    update: ClientUpdate,
+    /// Round the client was sampled in (its dispatch round).
+    dispatch_round: usize,
+    /// Dispatch index within its round, for deterministic flush ordering.
+    position: usize,
+    /// Model version the client trained against.
+    version: usize,
+    /// Dispatch time relative to the dispatch round's opening.
+    dispatch_offset: f64,
+    /// Simulated training + transfer duration.
+    duration: f64,
+}
+
+/// Internal clock state of the [`StreamingExecutor`]: the async event clock
+/// plus the server-side buffer of updates still awaiting aggregation.
+#[derive(Debug, Default)]
+struct StreamingClock {
+    version_open: Vec<f64>,
+    history: Vec<(usize, ParamVector)>,
+    busy_until: HashMap<usize, f64>,
+    next_round: usize,
+    pending: Vec<PendingUpdate>,
+}
+
+/// Streaming serving mode: continuous buffered aggregation over a client
+/// arrival process (FedBuff-style), on the same event-driven simulated
+/// clock as [`AsyncExecutor`].
+///
+/// Each round `r` models one *flush interval* of a continuously serving
+/// aggregator. The cohort sampled for round `r` is invited the moment the
+/// staleness bound allows (`T_{r − max_staleness}`); each client then
+///
+/// 1. is dropped with [`DropReason::Offline`] if its availability draw says
+///    so (same stream as every scheduling backend);
+/// 2. **arrives** `arrival_offset` simulated seconds after the invitation,
+///    per the configured [`ArrivalModel`] on the dedicated
+///    `"client-arrival"` stream, and dispatches once it has also finished
+///    any previous work (`busy_until`);
+/// 3. trains against the freshest model version published at its dispatch
+///    time (dispatch staleness never exceeds `max_staleness`, exactly as
+///    under [`AsyncExecutor`]);
+/// 4. completes after its predicted device-adjusted duration, and its
+///    update joins the server's **buffer**.
+///
+/// The round closes at the earliest flush condition: the
+/// [`StreamingParams::buffer_size`]-th buffered completion
+/// ([`FlushTrigger::BufferFull`]), the flush timer
+/// [`StreamingParams::flush_seconds`] after the round opened
+/// ([`FlushTrigger::Timeout`]), or — when neither can fire — the last
+/// completion in flight ([`FlushTrigger::Drain`]). Every buffered update
+/// completed by the flush time is aggregated, ordered by
+/// `(dispatch_round, position)`; updates still in flight stay buffered for
+/// a later flush, so their staleness at aggregation (`flush round −
+/// version`) can exceed the *dispatch* bound — FedBuff semantics, and the
+/// discount ([`crate::Server::aggregate_buffered`]) uses the actual lag.
+/// Updates still buffered when the run ends are never aggregated, like a
+/// real server shutting down mid-stream.
+///
+/// With `buffer_size =` cohort size, steady arrivals and staleness bound 0,
+/// every cohort completes within its own round and flushes in participant
+/// order with zero staleness: histories are **bit-identical** to
+/// [`SequentialExecutor`] (availability caveats as for async), pinned by
+/// `tests/streaming_e2e.rs`.
+///
+/// # Contract
+///
+/// Like [`AsyncExecutor`]: rounds must run in order, successive models may
+/// differ only in θ, and round 0 resets the clock (dropping any buffered
+/// updates of a previous run). Construct via
+/// [`ExecutionBackend::executor`]; `over(..)` exists for wrapping a custom
+/// inner executor in tests.
+#[derive(Debug)]
+pub struct StreamingExecutor {
+    params: StreamingParams,
+    inner: Box<dyn RoundExecutor>,
+    clock: Mutex<StreamingClock>,
+}
+
+impl StreamingExecutor {
+    /// Wraps an arbitrary inner executor. Results are identical for every
+    /// (correct) inner executor; only real wall-clock time differs.
+    pub fn over(params: StreamingParams, inner: impl RoundExecutor + 'static) -> Self {
+        StreamingExecutor {
+            params,
+            inner: Box::new(inner),
+            clock: Mutex::new(StreamingClock::default()),
+        }
+    }
+
+    /// The streaming parameters this executor serves under.
+    pub fn params(&self) -> &StreamingParams {
+        &self.params
+    }
+}
+
+impl RoundExecutor for StreamingExecutor {
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn run_round(
+        &self,
+        participants: &[&Client],
+        global_model: &BlockNet,
+        config: &FlConfig,
+        round: usize,
+    ) -> Result<RoundOutcome> {
+        if participants.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        let mut clock = self.clock.lock().expect("streaming clock lock poisoned");
+        if round == 0 {
+            *clock = StreamingClock::default();
+            clock.version_open.push(0.0);
+        } else if round != clock.next_round {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "streaming executor expected round {}, got {round}: buffered \
+                     aggregation rounds must run in order on one executor",
+                    clock.next_round
+                ),
+            });
+        }
+        let round_open = clock.version_open[round];
+        // Same retention discipline as the async clock; the snapshot is
+        // skipped at max_staleness = 0, where every dispatch reads the
+        // current model.
+        clock
+            .history
+            .retain(|(v, _)| v + self.params.max_staleness >= round);
+        if self.params.max_staleness > 0 {
+            clock
+                .history
+                .push((round, global_model.trainable_vector(config.freeze)));
+        }
+
+        let hetero = &config.heterogeneity;
+        let flops = global_model.flops_per_sample(config.freeze);
+        let traffic = crate::comm::round_traffic(global_model, config.freeze);
+
+        // Phase 1 — dispatch this round's arrivals.
+        let mut drops: Vec<DroppedClient> = Vec::new();
+        let mut dispatches: Vec<AsyncDispatch> = Vec::with_capacity(participants.len());
+        let invite_at = clock.version_open[round.saturating_sub(self.params.max_staleness)];
+        for &client in participants {
+            let profile = match resolve_or_drop_offline(hetero, client, round, config.seed) {
+                Ok(profile) => profile,
+                Err(drop) => {
+                    drops.push(drop);
+                    continue;
+                }
+            };
+            // The client arrives some time after the invitation and must
+            // also have finished any previously dispatched work. Steady
+            // arrivals contribute exactly 0.0, reproducing the async
+            // dispatch rule bit for bit.
+            let arrival_offset =
+                self.params
+                    .arrival
+                    .arrival_offset_seconds(client.id(), round, config.seed);
+            let free_at = clock.busy_until.get(&client.id()).copied().unwrap_or(0.0);
+            let dispatch_at = (invite_at + arrival_offset).max(free_at);
+            // Freshest version already published at dispatch time; the
+            // invitation version always qualifies, so dispatch staleness
+            // never exceeds the bound.
+            let earliest_version = round.saturating_sub(self.params.max_staleness);
+            let version = (earliest_version..=round)
+                .rev()
+                .find(|&v| clock.version_open[v] <= dispatch_at)
+                .unwrap_or(earliest_version);
+            let duration = hetero.predicted_seconds_from_parts(
+                &profile,
+                &flops,
+                &traffic,
+                client.num_samples(),
+                config,
+            );
+            clock.busy_until.insert(client.id(), dispatch_at + duration);
+            dispatches.push(AsyncDispatch {
+                client,
+                version,
+                dispatch_offset: dispatch_at - round_open,
+                duration,
+            });
+        }
+        let arrivals = dispatches.len();
+
+        // Phase 2 — train the new dispatches (grouped by version, scattered
+        // back to dispatch order) and queue them in the buffer.
+        let dispatched: Vec<(&Client, usize)> =
+            dispatches.iter().map(|d| (d.client, d.version)).collect();
+        let trained = if dispatched.is_empty() {
+            Vec::new()
+        } else {
+            train_version_groups(
+                self.inner.as_ref(),
+                &dispatched,
+                &clock.history,
+                global_model,
+                config,
+                round,
+                round,
+            )?
+        };
+        for (position, (dispatch, update)) in dispatches.iter().zip(trained).enumerate() {
+            clock.pending.push(PendingUpdate {
+                update,
+                dispatch_round: round,
+                position,
+                version: dispatch.version,
+                dispatch_offset: dispatch.dispatch_offset,
+                duration: dispatch.duration,
+            });
+        }
+
+        // Phase 3 — decide the flush time, working in offsets relative to
+        // this round's opening. An entry dispatched in an earlier round is
+        // rebased through the gap between the two openings; an entry
+        // dispatched *this* round contributes `dispatch_offset + duration`
+        // with no rebasing (the gap is exactly 0.0), so the degenerate
+        // configuration's flush offset is exactly the slowest duration.
+        // The flush fires at the K-th earliest buffered completion, the
+        // flush timer, or (when neither can fire) the last completion in
+        // flight. Ties go to the buffer condition.
+        let completion_offset = |p: &PendingUpdate, version_open: &[f64]| -> f64 {
+            (version_open[p.dispatch_round] - round_open) + (p.dispatch_offset + p.duration)
+        };
+        let buffer_fill = clock.pending.len();
+        let mut completions: Vec<f64> = clock
+            .pending
+            .iter()
+            .map(|p| completion_offset(p, &clock.version_open))
+            .collect();
+        completions.sort_by(f64::total_cmp);
+        let buffer_ready_at = (buffer_fill >= self.params.buffer_size)
+            .then(|| completions[self.params.buffer_size - 1]);
+        let timeout_at = self
+            .params
+            .flush_seconds
+            .is_finite()
+            .then_some(self.params.flush_seconds);
+        let (flush_offset, trigger) = match (buffer_ready_at, timeout_at) {
+            (Some(b), Some(t)) if t < b => (t, FlushTrigger::Timeout),
+            (Some(b), _) => (b, FlushTrigger::BufferFull),
+            (None, Some(t)) => (t, FlushTrigger::Timeout),
+            (None, None) => (
+                completions.last().copied().unwrap_or(0.0),
+                FlushTrigger::Drain,
+            ),
+        };
+        // The server cannot flush before the round opened (updates that
+        // completed even earlier are simply included), and time never runs
+        // back.
+        let flush_offset = flush_offset.max(0.0);
+
+        // Phase 4 — flush every buffered update completed by the flush
+        // time, in dispatch order (round, then position): deterministic,
+        // and in the degenerate configuration exactly participant order.
+        let mut flushed: Vec<PendingUpdate> = Vec::new();
+        let mut remaining: Vec<PendingUpdate> = Vec::with_capacity(clock.pending.len());
+        let version_open = std::mem::take(&mut clock.version_open);
+        for entry in clock.pending.drain(..) {
+            if completion_offset(&entry, &version_open) <= flush_offset {
+                flushed.push(entry);
+            } else {
+                remaining.push(entry);
+            }
+        }
+        clock.version_open = version_open;
+        clock.pending = remaining;
+        flushed.sort_by_key(|p| (p.dispatch_round, p.position));
+        let carried = flushed.iter().filter(|p| p.dispatch_round < round).count();
+        let flush = FlushRecord {
+            trigger,
+            buffer_fill,
+            carried,
+            arrivals,
+            remaining: clock.pending.len(),
+        };
+        let per_update: Vec<UpdateTiming> = flushed
+            .iter()
+            .map(|p| UpdateTiming {
+                client_id: p.update.client_id,
+                staleness: round - p.version,
+                dispatch_offset_seconds: (clock.version_open[p.dispatch_round] - round_open)
+                    + p.dispatch_offset,
+                simulated_seconds: p.duration,
+            })
+            .collect();
+        let updates: Vec<ClientUpdate> = flushed.into_iter().map(|p| p.update).collect();
+        let round_wall = flush_offset;
+
+        clock.version_open.push(round_open + round_wall);
+        clock.next_round = round + 1;
+        Ok(RoundOutcome {
+            updates,
+            drops,
+            timing: Some(RoundTiming {
+                per_update,
+                round_wall_seconds: round_wall,
+                flush: Some(flush),
             }),
         })
     }
@@ -808,6 +1331,10 @@ mod tests {
             ExecutionBackend::Async { max_staleness: 2 }.short_name(),
             "async"
         );
+        assert_eq!(
+            ExecutionBackend::Streaming(StreamingParams::new(8)).short_name(),
+            "stream"
+        );
         assert_eq!(ExecutionBackend::Sequential.executor().name(), "sequential");
         assert_eq!(ExecutionBackend::Parallel.executor().name(), "parallel");
         assert_eq!(ExecutionBackend::Deadline.executor().name(), "deadline");
@@ -816,6 +1343,12 @@ mod tests {
                 .executor()
                 .name(),
             "async"
+        );
+        assert_eq!(
+            ExecutionBackend::Streaming(StreamingParams::new(8))
+                .executor()
+                .name(),
+            "streaming"
         );
     }
 
@@ -832,11 +1365,16 @@ mod tests {
             Err(FlError::NoParticipants { round: 9 })
         ));
         assert!(matches!(
-            DeadlineExecutor::new().run_round(&[], &m, &c, 4),
+            DeadlineExecutor::over(SequentialExecutor).run_round(&[], &m, &c, 4),
             Err(FlError::NoParticipants { round: 4 })
         ));
         assert!(matches!(
-            AsyncExecutor::new(1).run_round(&[], &m, &c, 0),
+            AsyncExecutor::over(1, SequentialExecutor).run_round(&[], &m, &c, 0),
+            Err(FlError::NoParticipants { round: 0 })
+        ));
+        assert!(matches!(
+            StreamingExecutor::over(StreamingParams::new(2), SequentialExecutor)
+                .run_round(&[], &m, &c, 0),
             Err(FlError::NoParticipants { round: 0 })
         ));
     }
@@ -871,12 +1409,28 @@ mod tests {
         let m = model();
         let c = config(); // uniform heterogeneity, infinite deadline
         let reference = SequentialExecutor.run_round(&refs, &m, &c, 0).unwrap();
-        let deadline = DeadlineExecutor::sequential()
+        let deadline = DeadlineExecutor::over(SequentialExecutor)
             .run_round(&refs, &m, &c, 0)
             .unwrap();
-        assert_eq!(reference, deadline);
-        let deadline_par = DeadlineExecutor::new().run_round(&refs, &m, &c, 0).unwrap();
-        assert_eq!(reference, deadline_par);
+        assert_eq!(reference.updates, deadline.updates);
+        assert_eq!(reference.drops, deadline.drops);
+        // The deadline backend now reports its own timing (sequential does
+        // not): one fresh entry per update, wall = slowest device.
+        let timing = deadline.timing.expect("deadline outcome carries timing");
+        assert_eq!(timing.per_update.len(), reference.updates.len());
+        assert!(timing.per_update.iter().all(|t| t.staleness == 0));
+        assert!(timing.flush.is_none());
+        let slowest = timing
+            .per_update
+            .iter()
+            .map(|t| t.simulated_seconds)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(timing.round_wall_seconds.to_bits(), slowest.to_bits());
+        let deadline_par = DeadlineExecutor::over(ParallelExecutor::new())
+            .run_round(&refs, &m, &c, 0)
+            .unwrap();
+        assert_eq!(reference.updates, deadline_par.updates);
+        assert_eq!(Some(&timing), deadline_par.timing.as_ref());
     }
 
     #[test]
@@ -887,7 +1441,9 @@ mod tests {
         // A deadline below any client's predicted time drops everyone; the
         // round is empty but not an error.
         let c = config().with_deadline(1e-9);
-        let outcome = DeadlineExecutor::new().run_round(&refs, &m, &c, 0).unwrap();
+        let outcome = DeadlineExecutor::over(ParallelExecutor::new())
+            .run_round(&refs, &m, &c, 0)
+            .unwrap();
         assert!(outcome.updates.is_empty());
         assert_eq!(outcome.dropped(), 4);
         assert!(outcome
@@ -924,7 +1480,9 @@ mod tests {
         assert!(t_fast < t_slow);
         let c = base.with_deadline((t_fast + t_slow) / 2.0);
 
-        let outcome = DeadlineExecutor::new().run_round(&refs, &m, &c, 0).unwrap();
+        let outcome = DeadlineExecutor::over(ParallelExecutor::new())
+            .run_round(&refs, &m, &c, 0)
+            .unwrap();
         assert!(!outcome.updates.is_empty());
         assert!(!outcome.drops.is_empty());
         for update in &outcome.updates {
@@ -945,7 +1503,7 @@ mod tests {
             .with_heterogeneity(HeterogeneityModel::two_tier())
             .with_seed(3);
         let reference = SequentialExecutor.run_round(&refs, &m, &c, 0).unwrap();
-        let executor = AsyncExecutor::sequential(0);
+        let executor = AsyncExecutor::over(0, SequentialExecutor);
         let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
         assert_eq!(reference.updates, outcome.updates);
         assert!(outcome.drops.is_empty());
@@ -981,7 +1539,7 @@ mod tests {
         };
         let mut wall = HashMap::new();
         for bound in [0usize, 2] {
-            let executor = AsyncExecutor::sequential(bound);
+            let executor = AsyncExecutor::over(bound, SequentialExecutor);
             let mut model = m.clone();
             let mut total_wall = 0.0;
             let mut saw_stale = false;
@@ -1027,7 +1585,7 @@ mod tests {
         let refs: Vec<&Client> = clients.iter().collect();
         let m = model();
         let c = config();
-        let executor = AsyncExecutor::sequential(1);
+        let executor = AsyncExecutor::over(1, SequentialExecutor);
         executor.run_round(&refs, &m, &c, 0).unwrap();
         let err = executor.run_round(&refs, &m, &c, 2).unwrap_err();
         assert!(matches!(err, FlError::InvalidConfig { .. }));
@@ -1046,7 +1604,7 @@ mod tests {
             crate::DeviceTier::new("flaky", 1.0, 1.0).with_drop_probability(0.9)
         ]);
         let c = config().with_heterogeneity(flaky).with_seed(9);
-        let executor = AsyncExecutor::sequential(1);
+        let executor = AsyncExecutor::over(1, SequentialExecutor);
         let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
         assert_eq!(outcome.updates.len() + outcome.drops.len(), 6);
         assert!(
@@ -1059,6 +1617,205 @@ mod tests {
             .all(|d| d.reason == DropReason::Offline));
         let timing = outcome.timing.unwrap();
         assert_eq!(timing.per_update.len(), outcome.updates.len());
+    }
+
+    #[test]
+    fn streaming_params_validation_rejects_bad_values() {
+        assert!(StreamingParams::new(1).validate().is_ok());
+        assert!(StreamingParams::new(64)
+            .with_flush_seconds(30.0)
+            .with_max_staleness(4)
+            .with_arrival(ArrivalModel::Burst {
+                mean_offset_seconds: 5.0,
+            })
+            .validate()
+            .is_ok());
+        assert!(StreamingParams::new(0).validate().is_err());
+        assert!(StreamingParams::new(4)
+            .with_flush_seconds(0.0)
+            .validate()
+            .is_err());
+        assert!(StreamingParams::new(4)
+            .with_flush_seconds(-1.0)
+            .validate()
+            .is_err());
+        assert!(StreamingParams::new(4)
+            .with_flush_seconds(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(StreamingParams::new(4)
+            .with_arrival(ArrivalModel::Burst {
+                mean_offset_seconds: -1.0,
+            })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_streaming_outcome_matches_sequential_bit_for_bit() {
+        let clients: Vec<Client> = (0..5).map(|id| client(id, 10 + id)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_seed(3);
+        let reference = SequentialExecutor.run_round(&refs, &m, &c, 0).unwrap();
+        // K = cohort size, steady arrivals, staleness bound 0: one full
+        // synchronous round.
+        let executor = StreamingExecutor::over(StreamingParams::new(5), SequentialExecutor);
+        let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
+        assert_eq!(reference.updates, outcome.updates);
+        assert!(outcome.drops.is_empty());
+        let timing = outcome.timing.as_ref().expect("streaming carries timing");
+        assert!(timing.per_update.iter().all(|t| t.staleness == 0));
+        assert!(timing
+            .per_update
+            .iter()
+            .all(|t| t.dispatch_offset_seconds == 0.0));
+        let flush = timing.flush.as_ref().expect("streaming records the flush");
+        assert_eq!(flush.trigger, FlushTrigger::BufferFull);
+        assert_eq!(flush.buffer_fill, 5);
+        assert_eq!(flush.carried, 0);
+        assert_eq!(flush.arrivals, 5);
+        assert_eq!(flush.remaining, 0);
+        let slowest = timing
+            .per_update
+            .iter()
+            .map(|t| t.simulated_seconds)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(timing.round_wall_seconds.to_bits(), slowest.to_bits());
+    }
+
+    #[test]
+    fn streaming_buffer_smaller_than_cohort_carries_updates_forward() {
+        let clients: Vec<Client> = (0..8).map(|id| client(id, 10 + id)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_seed(3);
+        let executor = StreamingExecutor::over(StreamingParams::new(4), SequentialExecutor);
+        let first = executor.run_round(&refs, &m, &c, 0).unwrap();
+        let flush0 = first.timing.as_ref().unwrap().flush.clone().unwrap();
+        // Distinct sample counts give distinct durations, so the 4-deep
+        // buffer flushes exactly the 4 fastest and leaves the rest pending.
+        assert_eq!(flush0.trigger, FlushTrigger::BufferFull);
+        assert_eq!(first.updates.len(), 4);
+        assert_eq!(flush0.buffer_fill, 8);
+        assert_eq!(flush0.remaining, 4);
+        assert_eq!(flush0.carried, 0);
+        let second = executor.run_round(&refs, &m, &c, 1).unwrap();
+        let timing1 = second.timing.as_ref().unwrap();
+        let flush1 = timing1.flush.clone().unwrap();
+        // The stragglers of round 0 complete during round 1 and flush with
+        // it: carried updates, aggregated at staleness beyond their (zero)
+        // dispatch bound — FedBuff semantics.
+        assert!(flush1.carried >= 1, "round 1 must flush carried updates");
+        assert_eq!(flush1.buffer_fill, flush0.remaining + flush1.arrivals);
+        assert!(
+            timing1.per_update.iter().any(|t| t.staleness >= 1),
+            "carried updates age past their dispatch round"
+        );
+        assert!(
+            timing1
+                .per_update
+                .iter()
+                .any(|t| t.dispatch_offset_seconds < 0.0),
+            "carried updates were dispatched before round 1 opened"
+        );
+    }
+
+    #[test]
+    fn streaming_timeout_flush_can_close_an_empty_round() {
+        let clients: Vec<Client> = (0..5).map(|id| client(id, 10)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config();
+        // Timer far below any device duration and a buffer nobody can fill:
+        // the flush fires on the timer with nothing completed yet.
+        let params = StreamingParams::new(100).with_flush_seconds(1e-12);
+        let executor = StreamingExecutor::over(params, SequentialExecutor);
+        let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
+        assert!(outcome.updates.is_empty());
+        let timing = outcome.timing.as_ref().unwrap();
+        assert_eq!(timing.round_wall_seconds, 1e-12);
+        let flush = timing.flush.as_ref().unwrap();
+        assert_eq!(flush.trigger, FlushTrigger::Timeout);
+        assert_eq!(flush.buffer_fill, 5);
+        assert_eq!(flush.remaining, 5);
+        // The buffered cohort eventually drains over later rounds.
+        let second = executor.run_round(&refs, &m, &c, 1).unwrap();
+        let flush1 = second.timing.as_ref().unwrap().flush.clone().unwrap();
+        assert_eq!(flush1.trigger, FlushTrigger::Timeout);
+        assert!(second.updates.len() + flush1.remaining == flush1.buffer_fill);
+    }
+
+    #[test]
+    fn streaming_drain_flush_when_neither_condition_can_fire() {
+        let clients: Vec<Client> = (0..3).map(|id| client(id, 10 + id)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_seed(3);
+        // Buffer deeper than the cohort, no timer: the round drains every
+        // update in flight, like a shutdown flush.
+        let executor = StreamingExecutor::over(StreamingParams::new(64), SequentialExecutor);
+        let outcome = executor.run_round(&refs, &m, &c, 0).unwrap();
+        assert_eq!(outcome.updates.len(), 3);
+        let timing = outcome.timing.as_ref().unwrap();
+        let flush = timing.flush.as_ref().unwrap();
+        assert_eq!(flush.trigger, FlushTrigger::Drain);
+        assert_eq!(flush.remaining, 0);
+        let slowest = timing
+            .per_update
+            .iter()
+            .map(|t| t.simulated_seconds)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(timing.round_wall_seconds.to_bits(), slowest.to_bits());
+    }
+
+    #[test]
+    fn streaming_burst_arrivals_shift_dispatches_and_stay_deterministic() {
+        let clients: Vec<Client> = (0..6).map(|id| client(id, 12)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config().with_seed(11);
+        let params = StreamingParams::new(6).with_arrival(ArrivalModel::Burst {
+            mean_offset_seconds: 3.0,
+        });
+        let run = || {
+            StreamingExecutor::over(params, SequentialExecutor)
+                .run_round(&refs, &m, &c, 0)
+                .unwrap()
+        };
+        let outcome = run();
+        let timing = outcome.timing.as_ref().unwrap();
+        assert!(
+            timing
+                .per_update
+                .iter()
+                .any(|t| t.dispatch_offset_seconds > 0.0),
+            "burst arrivals must spread dispatches out in time"
+        );
+        // Same seed, fresh executor: bit-identical replay.
+        assert_eq!(outcome, run());
+    }
+
+    #[test]
+    fn streaming_executor_rejects_out_of_order_rounds() {
+        let clients: Vec<Client> = (0..2).map(|id| client(id, 10)).collect();
+        let refs: Vec<&Client> = clients.iter().collect();
+        let m = model();
+        let c = config();
+        let executor = StreamingExecutor::over(StreamingParams::new(2), SequentialExecutor);
+        executor.run_round(&refs, &m, &c, 0).unwrap();
+        let err = executor.run_round(&refs, &m, &c, 2).unwrap_err();
+        assert!(matches!(err, FlError::InvalidConfig { .. }));
+        // Round 0 resets the clock (dropping any buffered updates).
+        executor.run_round(&refs, &m, &c, 0).unwrap();
+        executor.run_round(&refs, &m, &c, 1).unwrap();
+        assert_eq!(executor.params().buffer_size, 2);
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   [`Server::aggregate_stale`] discounts stale updates; `max_staleness =
 //!   0` (with no offline probability) reproduces the synchronous backends
 //!   bit for bit.
+//! * **Streaming serving mode** — a [`executor::StreamingExecutor`] turns
+//!   rounds into continuous update traffic: clients arrive per a pluggable
+//!   [`device::ArrivalModel`] (steady/burst/diurnal, on a dedicated seeded
+//!   RNG stream), train on the freshest model at dispatch, and the server
+//!   flushes its buffer FedBuff-style every `K` updates or `T` simulated
+//!   seconds ([`Server::aggregate_buffered`]); the degenerate configuration
+//!   (`K` = cohort size, steady arrivals, staleness bound 0) reproduces the
+//!   synchronous backends bit for bit.
 //! * **Logical client pools & shard-deduplicated caching** — a
 //!   [`simulation::ClientPool`] maps `N` simulated clients onto `M ≪ N`
 //!   physical shards, and a shared [`cache::CacheRegistry`] (keyed by
@@ -92,11 +100,12 @@ pub use cache::{CacheRegistry, CacheScope, CacheStats, FeatureCache};
 pub use client::{Client, ClientUpdate};
 pub use config::{FlConfig, LocalAlgorithm};
 pub use cost::CostModel;
-pub use device::{DeviceProfile, DeviceTier, HeterogeneityModel};
+pub use device::{ArrivalModel, DeviceProfile, DeviceTier, HeterogeneityModel};
 pub use error::FlError;
 pub use executor::{
-    AsyncExecutor, AsyncRoundTiming, DeadlineExecutor, DropReason, DroppedClient, ExecutionBackend,
-    ParallelExecutor, RoundExecutor, RoundOutcome, SequentialExecutor, UpdateTiming,
+    AsyncExecutor, DeadlineExecutor, DropReason, DroppedClient, ExecutionBackend, FlushRecord,
+    FlushTrigger, ParallelExecutor, RoundExecutor, RoundOutcome, RoundTiming, SequentialExecutor,
+    StreamingExecutor, StreamingParams, UpdateTiming,
 };
 pub use methods::Method;
 pub use metrics::{RoundRecord, RunResult};

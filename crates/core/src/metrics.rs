@@ -1,5 +1,6 @@
 //! Per-round records and run-level summaries.
 
+use crate::executor::{FlushRecord, FlushTrigger};
 use serde::{Deserialize, Serialize};
 
 /// Metrics recorded after every communication round.
@@ -69,22 +70,31 @@ pub struct RoundRecord {
     /// this round — never exceeds
     /// [`crate::FlConfig::cache_budget_bytes`] when a budget is set.
     pub cache_peak_bytes: usize,
+    /// The streaming backend's flush bookkeeping for this round: what fired
+    /// the flush, how full the buffer was, and how many updates were carried
+    /// over or left pending. `None` under every non-streaming backend.
+    pub flush: Option<FlushRecord>,
 }
 
 impl RoundRecord {
-    /// This record with the cache counters zeroed — the **cache-invariant
-    /// view**: every remaining field must be bit-identical whichever way
+    /// This record with the cache counters zeroed and the backend's flush
+    /// bookkeeping cleared — the **learning-invariant view**: every
+    /// remaining field must be bit-identical whichever way
     /// [`crate::FlConfig::feature_cache`], the cache scope or the byte
     /// budget are set (the cache only changes how frozen activations are
-    /// obtained, never their values). The counters themselves legitimately
-    /// differ (off = all zero, shared vs per-client = different hit
-    /// patterns), which is why equality contracts compare this view.
+    /// obtained, never their values), and across backends that promise
+    /// identical learning histories (the degenerate streaming configuration
+    /// vs `Sequential` legitimately differ only in this bookkeeping). The
+    /// counters themselves legitimately differ (off = all zero, shared vs
+    /// per-client = different hit patterns), which is why equality
+    /// contracts compare this view.
     pub fn without_cache_counters(&self) -> RoundRecord {
         RoundRecord {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
             cache_peak_bytes: 0,
+            flush: None,
             ..self.clone()
         }
     }
@@ -273,6 +283,36 @@ impl RunResult {
             .collect()
     }
 
+    /// Number of rounds that recorded a buffer flush (every round of a
+    /// streaming run; zero otherwise).
+    pub fn flush_count(&self) -> usize {
+        self.rounds.iter().filter(|r| r.flush.is_some()).count()
+    }
+
+    /// Number of flushes fired by the given trigger over the whole run.
+    pub fn flush_count_for(&self, trigger: FlushTrigger) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.flush.as_ref().is_some_and(|f| f.trigger == trigger))
+            .count()
+    }
+
+    /// Total updates aggregated from a flush that were carried over from an
+    /// earlier round's dispatch (FedBuff carryover) over the whole run.
+    pub fn total_carried_updates(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.flush.as_ref().map(|f| f.carried))
+            .sum()
+    }
+
+    /// Total updates aggregated over the whole run (the streaming
+    /// throughput numerator: divide by elapsed time for sustained
+    /// updates/sec).
+    pub fn total_aggregated_updates(&self) -> usize {
+        self.rounds.iter().map(|r| r.participants).sum()
+    }
+
     /// The test-accuracy learning curve, one entry per round.
     pub fn accuracy_curve(&self) -> Vec<f32> {
         self.rounds.iter().map(|r| r.test_accuracy).collect()
@@ -325,6 +365,7 @@ mod tests {
             cache_misses: 2,
             cache_evictions: 1,
             cache_peak_bytes: 4096 * round,
+            flush: None,
         }
     }
 
@@ -436,6 +477,37 @@ mod tests {
         assert_eq!(empty.total_cache_hits(), 0);
         assert_eq!(empty.peak_cache_bytes(), 0);
         assert!(empty.learning_history().is_empty());
+    }
+
+    #[test]
+    fn flush_summaries_aggregate_and_vanish_from_the_learning_history() {
+        let mut r = run();
+        assert_eq!(r.flush_count(), 0);
+        assert_eq!(r.total_carried_updates(), 0);
+        assert_eq!(r.total_aggregated_updates(), 30);
+        r.rounds[0].flush = Some(FlushRecord {
+            trigger: FlushTrigger::BufferFull,
+            buffer_fill: 12,
+            carried: 0,
+            arrivals: 12,
+            remaining: 2,
+        });
+        r.rounds[1].flush = Some(FlushRecord {
+            trigger: FlushTrigger::Timeout,
+            buffer_fill: 14,
+            carried: 2,
+            arrivals: 12,
+            remaining: 4,
+        });
+        assert_eq!(r.flush_count(), 2);
+        assert_eq!(r.flush_count_for(FlushTrigger::BufferFull), 1);
+        assert_eq!(r.flush_count_for(FlushTrigger::Timeout), 1);
+        assert_eq!(r.flush_count_for(FlushTrigger::Drain), 0);
+        assert_eq!(r.total_carried_updates(), 2);
+        // The learning history clears the flush bookkeeping, so streaming
+        // and sequential runs of the same learning process compare equal.
+        assert!(r.learning_history().iter().all(|rec| rec.flush.is_none()));
+        assert_eq!(r.learning_history(), run().learning_history());
     }
 
     #[test]

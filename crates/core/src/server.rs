@@ -115,6 +115,33 @@ impl Server {
         ParamVector::weighted_average_refs(&entries).map_err(FlError::from)
     }
 
+    /// Aggregates one **flush** of the streaming backend's update buffer
+    /// (FedBuff-style buffered asynchronous aggregation, produced by
+    /// [`crate::executor::StreamingExecutor`]).
+    ///
+    /// A flushed buffer is just a batch of updates whose model versions lag
+    /// the flush round by `staleness[i]` — for updates carried over from an
+    /// earlier flush interval the lag reflects the *actual* age at
+    /// aggregation time, which may exceed the dispatch-time staleness bound.
+    /// The weighting is therefore exactly the bounded-staleness rule: this
+    /// method delegates to [`Server::aggregate_stale`] (and through it to
+    /// [`Server::aggregate`] when the whole buffer is fresh, which is what
+    /// makes the degenerate streaming configuration bit-identical to the
+    /// synchronous path).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::aggregate_stale`]: an empty flush, a length
+    /// mismatch, or disagreeing parameter vectors.
+    pub fn aggregate_buffered(
+        &self,
+        updates: &[ClientUpdate],
+        staleness: &[usize],
+        round: usize,
+    ) -> Result<ParamVector> {
+        self.aggregate_stale(updates, staleness, round)
+    }
+
     /// The convex weights [`Server::aggregate_stale`] uses: proportional to
     /// `selected_samples × staleness_discount`, normalised to sum to one.
     /// Falls back to discount-only weights when no update selected any
@@ -267,6 +294,28 @@ mod tests {
                 assert!(weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
             }
         }
+    }
+
+    #[test]
+    fn buffered_aggregation_is_the_stale_rule_bit_for_bit() {
+        let server = Server::new();
+        let updates = vec![
+            update(0, vec![0.2, -0.1], 9),
+            update(1, vec![-0.7, 0.4], 21),
+        ];
+        // A flush can carry staleness beyond any dispatch bound; the weights
+        // are still the 1/(1+s) rule.
+        for staleness in [[0usize, 0], [0, 2], [5, 1]] {
+            let buffered = server.aggregate_buffered(&updates, &staleness, 3).unwrap();
+            let stale = server.aggregate_stale(&updates, &staleness, 3).unwrap();
+            for (a, b) in buffered.values().iter().zip(stale.values()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(matches!(
+            server.aggregate_buffered(&[], &[], 4).unwrap_err(),
+            FlError::NoParticipants { round: 4 }
+        ));
     }
 
     #[test]

@@ -215,12 +215,19 @@ impl Simulation {
             let updates = &outcome.updates;
             let update_staleness = outcome.update_staleness();
 
+            let is_flush = outcome.timing.as_ref().is_some_and(|t| t.flush.is_some());
             if !updates.is_empty() {
                 // All-fresh rounds (every synchronous backend, and async
                 // ones that kept up) delegate to the plain path inside
                 // `aggregate_stale`, so this is bit-identical to the
-                // pre-async aggregation whenever no update is stale.
-                let theta = server.aggregate_stale(updates, &update_staleness, round)?;
+                // pre-async aggregation whenever no update is stale. A
+                // streaming flush goes through the buffered entry point,
+                // which applies the same rule to the flushed buffer.
+                let theta = if is_flush {
+                    server.aggregate_buffered(updates, &update_staleness, round)?
+                } else {
+                    server.aggregate_stale(updates, &update_staleness, round)?
+                };
                 global_model.set_trainable_vector(self.config.freeze, &theta)?;
             }
             // An all-dropped round (every sampled device offline or past the
@@ -245,14 +252,15 @@ impl Simulation {
                 tier_participants[profiles[update.client_id].tier_index] += 1;
             }
             let round_wall_seconds = if let Some(timing) = &outcome.timing {
-                // The async scheduler already accounts for overlap: its wall
-                // clock is the gap between consecutive aggregations, not the
-                // slowest client.
+                // Scheduling backends (deadline, async, streaming) report
+                // their own wall clock: the async and streaming clocks are
+                // the gap between consecutive aggregations, not the slowest
+                // client.
                 timing.round_wall_seconds
             } else {
-                // Simulated wall-clock of the synchronous round: the slowest
-                // surviving device, or the full deadline when someone missed
-                // it.
+                // Simulated wall-clock of a plain synchronous round
+                // (sequential/parallel backends): the slowest surviving
+                // device, or the full deadline when someone missed it.
                 let mut slowest = 0.0_f64;
                 for update in updates {
                     let profile = &profiles[update.client_id];
@@ -298,6 +306,7 @@ impl Simulation {
                 cache_misses: cache_round.misses,
                 cache_evictions: cache_round.evictions,
                 cache_peak_bytes: cache_round.peak_bytes,
+                flush: outcome.timing.as_ref().and_then(|t| t.flush.clone()),
             });
         }
         Ok(RunResult::new(label, rounds))
