@@ -24,11 +24,19 @@
 //!    must be bit-identical to the unbudgeted run, and — gated like the
 //!    parallel speedup check — its sustained aggregated-updates/sec must
 //!    be at least the sequential backend's on the same cohort;
-//! 6. writes a `BENCH_scaling.json` artifact with the measured curve, the
+//! 6. runs the **contended cache pool**: N threads hammering one shared
+//!    `CacheRegistry` with hit-path lookups over a prewarmed key set, once
+//!    against the single-lock (1-shard) configuration and once against the
+//!    auto-sharded one. Counter exactness (hits + misses = lookups) is
+//!    always asserted; on multi-core hosts the sharded registry's
+//!    lookups/sec must be at least the single lock's (same gate as the
+//!    parallel speedup check);
+//! 7. writes a `BENCH_scaling.json` artifact with the measured curve, the
 //!    *simulated* wall-clock contrast (async overlap vs synchronous
 //!    rounds), per-backend cache hit/miss/peak-bytes counters, the
-//!    logical-pool cache section and the streaming throughput/flush
-//!    section — all hardware-independent except the elapsed times.
+//!    logical-pool cache section, the streaming throughput/flush section
+//!    and the cache-contention section — all hardware-independent except
+//!    the elapsed times.
 //!
 //! Usage: `scaling_smoke [--out BENCH_scaling.json]`. Set
 //! `FEDFT_SCALING_ASSERT=0`/`1` to force the speedup assertion off/on
@@ -38,14 +46,16 @@
 //! builds are slow enough to distort the curve.
 
 use fedft_core::{
-    ArrivalModel, CacheScope, ExecutionBackend, FlConfig, FlushTrigger, HeterogeneityModel, Method,
-    RunResult, Simulation, StreamingParams,
+    ArrivalModel, CacheRegistry, CacheScope, ExecutionBackend, FlConfig, FlushTrigger,
+    HeterogeneityModel, Method, RunResult, Simulation, StreamingParams,
 };
 use fedft_data::federated::PartitionScheme;
 use fedft_data::{domains, FederatedDataset};
-use fedft_nn::{BlockNet, BlockNetConfig};
+use fedft_nn::{BlockNet, BlockNetConfig, FreezeLevel};
+use fedft_tensor::Matrix;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Barrier;
 use std::time::Instant;
 
 const CLIENTS: usize = 12;
@@ -71,6 +81,14 @@ const STREAM_PARTICIPANTS: usize = 150;
 /// intervals — while staying close enough to the arrival rate that the
 /// server keeps up (the aggregated-updates/sec contract below).
 const STREAM_BUFFER: usize = 140;
+/// Contention scenario: hit-path lookups against one shared registry from
+/// every core — the path that serialized on the registry's single mutex
+/// before sharding. The key set is larger than any realistic shard count so
+/// every lock shard stays busy.
+const CONTENTION_KEYS: usize = 64;
+/// Hit lookups per hammering thread (the key set is prewarmed first, so
+/// misses never mix into the measured loop).
+const CONTENTION_LOOKUPS: usize = 200_000;
 /// Parallel may be up to this factor slower than sequential before the
 /// smoke check fails — absorbs scheduler noise on shared CI runners while
 /// still catching a parallel path that stopped scaling at all.
@@ -396,6 +414,141 @@ fn run_streaming_pool(assert_throughput: bool) -> Result<StreamReport, Box<dyn s
     })
 }
 
+/// Outcome of the cache-contention scenario, written into the JSON artifact.
+struct ContentionReport {
+    threads: usize,
+    keys: usize,
+    lookups_per_thread: usize,
+    single_shards: usize,
+    sharded_shards: usize,
+    single_lookups_per_sec: f64,
+    sharded_lookups_per_sec: f64,
+    speedup: f64,
+}
+
+/// Prewarms `registry` with every contention key, then hammers it with hit
+/// lookups from `threads` threads and returns sustained lookups/sec.
+/// `Err` carries a broken counter-exactness contract.
+fn hammer_registry(
+    registry: &CacheRegistry,
+    model: &BlockNet,
+    keys: &[Matrix],
+    threads: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let freeze = FreezeLevel::Moderate;
+    for key in keys {
+        registry.get_or_build(model, freeze, key)?;
+    }
+    let warm = registry.stats();
+    if (warm.misses, warm.entries) != (keys.len(), keys.len()) {
+        return Err(format!(
+            "cache contention: prewarm built {} entries from {} misses, expected {}",
+            warm.entries,
+            warm.misses,
+            keys.len()
+        )
+        .into());
+    }
+
+    // All threads start on a barrier so the measured window only contains
+    // contended lookups; each thread walks the key set from its own offset
+    // with a stride co-prime to the set size, so every shard sees traffic
+    // from every thread.
+    let barrier = Barrier::new(threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let mut workers = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let registry = registry.clone();
+            let barrier = &barrier;
+            workers.push(scope.spawn(move || -> Result<(), String> {
+                barrier.wait();
+                for i in 0..CONTENTION_LOOKUPS {
+                    let key = &keys[(i * 7 + t * 3) % keys.len()];
+                    let served = registry
+                        .get_or_build(model, freeze, key)
+                        .map_err(|e| e.to_string())?;
+                    // Touch the result so the lookup cannot be optimised out.
+                    if served.rows() != key.rows() {
+                        return Err("cache served a wrong-shape entry".into());
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("contention worker panicked")?;
+        }
+        Ok(())
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Exact-counter contract: the consistent-cut snapshot must account for
+    // every single lookup — prewarm misses plus all hammered hits.
+    let stats = registry.stats();
+    let expected_hits = threads * CONTENTION_LOOKUPS;
+    if stats.hits != expected_hits || stats.misses != keys.len() {
+        return Err(format!(
+            "cache contention: counters lost events — {} hits / {} misses, \
+             expected {expected_hits} / {}",
+            stats.hits,
+            stats.misses,
+            keys.len()
+        )
+        .into());
+    }
+    Ok(expected_hits as f64 / elapsed)
+}
+
+/// Runs the contended-pool scenario: the same multi-thread hit workload
+/// against a single-lock registry and an auto-sharded one. Counter
+/// exactness is always asserted; the sharded ≥ single-lock throughput
+/// contract only on multi-core hosts (`assert_throughput`).
+fn run_cache_contention(
+    cores: usize,
+    assert_throughput: bool,
+) -> Result<ContentionReport, Box<dyn std::error::Error>> {
+    // A deliberately tiny model: the frozen forward only runs during
+    // prewarm, and hit-path cost must dominate so the measurement stresses
+    // the locks, not the kernels.
+    let model = BlockNet::new(&BlockNetConfig::new(6, 4).with_hidden(8, 8, 8), 11);
+    let keys: Vec<Matrix> = (0..CONTENTION_KEYS)
+        .map(|k| {
+            Matrix::from_vec(
+                4,
+                6,
+                (0..24).map(|v| (v + k) as f32 * 0.125 - 1.0).collect(),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let threads = cores.clamp(1, 8);
+
+    let single = CacheRegistry::sharded(1, None);
+    let single_lookups_per_sec = hammer_registry(&single, &model, &keys, threads)?;
+    let sharded = CacheRegistry::sharded(CacheRegistry::auto_shard_count(), None);
+    let sharded_lookups_per_sec = hammer_registry(&sharded, &model, &keys, threads)?;
+
+    let speedup = sharded_lookups_per_sec / single_lookups_per_sec;
+    if assert_throughput && sharded_lookups_per_sec * NOISE_ALLOWANCE < single_lookups_per_sec {
+        return Err(format!(
+            "cache contention: sharded registry sustains {sharded_lookups_per_sec:.0} \
+             lookups/sec, below the single lock's {single_lookups_per_sec:.0} on \
+             {cores} cores"
+        )
+        .into());
+    }
+    Ok(ContentionReport {
+        threads,
+        keys: CONTENTION_KEYS,
+        lookups_per_thread: CONTENTION_LOOKUPS,
+        single_shards: single.shard_count(),
+        sharded_shards: sharded.shard_count(),
+        single_lookups_per_sec,
+        sharded_lookups_per_sec,
+        speedup,
+    })
+}
+
 fn assert_speedup_enabled(cores: usize) -> bool {
     match std::env::var("FEDFT_SCALING_ASSERT").as_deref() {
         Ok("0") => false,
@@ -410,6 +563,7 @@ fn render_json(
     asserted: bool,
     pool: &PoolReport,
     stream: &StreamReport,
+    contention: &ContentionReport,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -504,6 +658,33 @@ fn render_json(
         "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
         stream.hits, stream.misses, stream.evictions
     );
+    out.push_str("  },\n");
+    out.push_str("  \"cache_contention\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"scenario\": \"{} threads x {} hit lookups over {} prewarmed keys, \
+         single-lock vs sharded registry\",",
+        contention.threads, contention.lookups_per_thread, contention.keys
+    );
+    let _ = writeln!(out, "    \"threads\": {},", contention.threads);
+    let _ = writeln!(out, "    \"keys\": {},", contention.keys);
+    let _ = writeln!(
+        out,
+        "    \"lookups_per_thread\": {},",
+        contention.lookups_per_thread
+    );
+    let _ = writeln!(
+        out,
+        "    \"shard_counts\": {{\"single\": {}, \"sharded\": {}}},",
+        contention.single_shards, contention.sharded_shards
+    );
+    let _ = writeln!(
+        out,
+        "    \"lookups_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}},",
+        contention.single_lookups_per_sec, contention.sharded_lookups_per_sec
+    );
+    let _ = writeln!(out, "    \"speedup\": {:.3},", contention.speedup);
+    let _ = writeln!(out, "    \"asserted\": {asserted}");
     out.push_str("  }\n}\n");
     out
 }
@@ -686,7 +867,33 @@ fn main() -> ExitCode {
         }
     };
 
-    let json = render_json(cores, &measurements, asserted, &pool, &stream);
+    // Contended cache pool: the same hit workload against the single-lock
+    // and sharded registry configurations — counter exactness always,
+    // throughput gated on multi-core like the other speedup checks.
+    println!(
+        "cache contention: {CONTENTION_KEYS} keys, {CONTENTION_LOOKUPS} lookups per thread, \
+         up to {} threads",
+        cores.clamp(1, 8)
+    );
+    let contention = match run_cache_contention(cores, asserted) {
+        Ok(report) => {
+            println!(
+                "  single lock ({} shard): {:>12.0} lookups/sec",
+                report.single_shards, report.single_lookups_per_sec
+            );
+            println!(
+                "  sharded ({:>2} shards):   {:>12.0} lookups/sec  ({:.2}x)",
+                report.sharded_shards, report.sharded_lookups_per_sec, report.speedup
+            );
+            report
+        }
+        Err(e) => {
+            eprintln!("scaling_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = render_json(cores, &measurements, asserted, &pool, &stream, &contention);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("scaling_smoke: cannot write `{out_path}`: {e}");
         return ExitCode::from(2);

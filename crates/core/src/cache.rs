@@ -1,37 +1,87 @@
-//! Shard-deduplicated caching of frozen-prefix boundary activations.
+//! Shard-deduplicated, key-hash-**sharded** caching of frozen-prefix
+//! boundary activations.
 //!
 //! A client's local dataset never changes, and the frozen backbone `ϕ` never
 //! changes during a federated run (the server only aggregates the trainable
 //! part `θ`). The boundary activations `ϕ(x)` of the client's local data are
 //! therefore **round-invariant**, yet the uncached simulator recomputes them
 //! for every batch of every epoch of every round — plus once more for the
-//! entropy-selection pass. PR 4 memoised them per client; this module goes
-//! one step further for *logical client pools* (N simulated clients over
-//! M ≪ N physical shards): a [`CacheRegistry`] keyed by
+//! entropy-selection pass. PR 4 memoised them per client; PR 5 went one step
+//! further for *logical client pools* (N simulated clients over M ≪ N
+//! physical shards): a [`CacheRegistry`] keyed by
 //! `(source_checksum, frozen_fingerprint, freeze_level)` lets every logical
 //! client that holds the same shard share one `Arc<Matrix>` of activations,
 //! so cache memory scales with **distinct shards**, not with clients.
 //!
-//! Entries are keyed by [`fedft_nn::BlockNet::frozen_fingerprint`], a hash
-//! over the frozen parameter bits, so a cache can never serve activations
-//! computed under a *different* backbone, and by a strided-row checksum of
-//! the source features guarding against two *different* shards aliasing one
-//! entry (exact for shards up to 16 rows, sampled beyond — see
-//! `source_checksum` in this module for the precise guarantee).
-//! Because the cached rows are produced by the same kernels on the same
-//! inputs as the uncached per-batch forward (and every kernel accumulates in
-//! a row-partition-invariant order), training from cached rows is
-//! bit-identical to recomputing them — the contract
-//! `tests/feature_cache_e2e.rs` and `tests/logical_pool_e2e.rs` pin end to
-//! end. Eviction (LRU, under [`CacheRegistry::with_budget`]) only ever
-//! forces a rebuild, never a different value, so budgets cannot change
-//! results either.
+//! This revision shards the registry itself. A registry is a fixed
+//! power-of-two array of **lock shards**, each owning its own entry table,
+//! LRU clock and byte ledger behind its own mutex, with the shard picked by
+//! a hash of the entry key. A hit-path lookup therefore touches exactly one
+//! shard lock and never a global one — under the streaming churn scenario
+//! (100k logical clients, burst arrivals) and the parallel executors, N
+//! worker threads hammering N distinct data shards contend on nothing at
+//! all, and even same-shard traffic only serializes a two-word table scan.
+//! The `scaling_smoke` bench's `cache_contention` phase gates this: on
+//! multi-core hosts, sharded hit throughput must be at least the
+//! single-lock configuration's.
+//!
+//! # Invariants
+//!
+//! The sharded registry preserves every contract of the single-lock one:
+//!
+//! * **Keying / aliasing guard.** Entries are keyed by
+//!   [`fedft_nn::BlockNet::frozen_fingerprint`], a hash over the frozen
+//!   parameter bits, so a cache can never serve activations computed under a
+//!   *different* backbone, and by a strided-row checksum of the source
+//!   features guarding against two *different* shards aliasing one entry
+//!   (exact for data shards up to 16 rows, sampled beyond — see
+//!   `source_checksum` in this module for the precise guarantee).
+//! * **Shard-local invalidation.** The lock shard is selected by hashing
+//!   only `(source_checksum, freeze_level)` — deliberately **excluding** the
+//!   backbone fingerprint — so every fingerprint an entry can ever be
+//!   superseded by lands in the *same* shard. A backbone change is then
+//!   invalidated entirely under one shard lock; no cross-shard scan exists
+//!   anywhere on the insert path.
+//! * **Evict-before-insert under a split budget.** A global byte budget
+//!   ([`CacheRegistry::with_budget`], [`CacheRegistry::sharded`]) is split
+//!   across shards — `budget / shards` each, remainder to the first shards,
+//!   so the slices sum exactly to the budget — and each shard evicts its own
+//!   least-recently-used entries *before* inserting. Per-shard peaks never
+//!   exceed the per-shard slice, hence the summed
+//!   [`CacheStats::peak_bytes`] never exceeds the global budget. An entry
+//!   larger than its shard's slice is built and served but never retained
+//!   (note the granularity: with `S` shards the largest retainable entry is
+//!   about `budget / S` bytes).
+//! * **Bit-identity.** Cached rows are produced by the same kernels on the
+//!   same inputs as the uncached per-batch forward (and every kernel
+//!   accumulates in a row-partition-invariant order), so training from
+//!   cached rows is bit-identical to recomputing them — the contract
+//!   `tests/feature_cache_e2e.rs`, `tests/logical_pool_e2e.rs` and
+//!   `tests/sharded_registry_e2e.rs` pin end to end. Eviction only ever
+//!   forces a rebuild, never a different value, and the shard count only
+//!   redistributes entries across locks, so **neither budgets nor shard
+//!   counts can change results**.
+//! * **Coherent statistics.** Hit/miss counters are per-shard relaxed
+//!   atomics and the byte ledgers are per-shard fields, both only ever
+//!   mutated while that shard's lock is held. [`CacheRegistry::stats`]
+//!   acquires *all* shard locks (in index order) before reading any of
+//!   them, so a snapshot is one consistent cut of the registry: no lookup
+//!   or insert can interleave between the per-shard reads, and
+//!   [`CacheStats::delta_since`] between two snapshots of a live registry
+//!   counts every event exactly once. This is the guarantee the per-round
+//!   delta capture in [`crate::Simulation`]'s executor loop (the
+//!   `cache_hits`/`cache_misses`/… fields of [`crate::RoundRecord`]) relies
+//!   on. Under sequential execution the counters are exactly deterministic
+//!   at any shard count; under concurrent execution only same-key build
+//!   races can wobble the totals (documented on
+//!   [`CacheRegistry::get_or_build`]), never the results.
 
 use crate::Result;
 use fedft_nn::{BlockNet, FreezeLevel};
 use fedft_tensor::Matrix;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Whose cache a client's frozen-prefix activations live in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -39,12 +89,13 @@ pub enum CacheScope {
     /// One registry shared by every client of the run: logical clients that
     /// hold the same physical shard share one cached entry (memory scales
     /// with distinct shards). The default, and the only scope that honours
-    /// [`crate::FlConfig::cache_budget_bytes`].
+    /// [`crate::FlConfig::cache_budget_bytes`] and
+    /// [`crate::FlConfig::cache_shards`].
     #[default]
     Shared,
-    /// Every client owns a private, unbounded cache (the pre-registry
-    /// behaviour). Memory scales with clients; kept as the baseline the
-    /// shared registry is pinned bit-identical against.
+    /// Every client owns a private, unbounded, single-shard cache (the
+    /// pre-registry behaviour). Memory scales with clients; kept as the
+    /// baseline the shared registry is pinned bit-identical against.
     PerClient,
 }
 
@@ -65,6 +116,23 @@ struct CacheKey {
     source_checksum: u64,
     fingerprint: u64,
     freeze: FreezeLevel,
+}
+
+impl CacheKey {
+    /// Index of the lock shard this key lives in.
+    ///
+    /// Hashes only `(source_checksum, freeze)` — **not** the fingerprint —
+    /// so all backbone versions of one data shard land in the same lock
+    /// shard and fingerprint invalidation stays shard-local. The checksum
+    /// is already an FNV-1a output, so a short remix suffices to spread it
+    /// over a power-of-two shard count.
+    fn shard_index(&self, mask: usize) -> usize {
+        let mut hash = self.source_checksum ^ 0x9e37_79b9_7f4a_7c15;
+        hash ^= self.freeze.frozen_blocks() as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash ^= hash >> 32;
+        (hash as usize) & mask
+    }
 }
 
 /// One cached set of boundary activations.
@@ -125,12 +193,31 @@ fn matrix_bytes(m: &Matrix) -> usize {
     m.rows() * m.cols() * std::mem::size_of::<f32>()
 }
 
-/// Counters of a [`CacheRegistry`] (or a sum over several registries).
+/// Counters of a [`CacheRegistry`] (or a sum over several registries, or —
+/// via [`CacheRegistry::shard_stats`] — of a single lock shard).
 ///
 /// `hits`, `misses` and `evictions` are monotone over a registry's lifetime;
 /// `entries`/`current_bytes` describe the present content and `peak_bytes`
 /// the largest `current_bytes` ever reached — the number a byte budget
-/// bounds.
+/// bounds. For a sharded registry every field is the sum over its shards
+/// (so `peak_bytes` is the sum of per-shard peaks, each individually under
+/// its budget slice — still never above the global budget).
+///
+/// # Examples
+///
+/// Differencing two snapshots of the same registry isolates the activity in
+/// between (this is how per-round cache counters on
+/// [`crate::RoundRecord`] are produced):
+///
+/// ```
+/// use fedft_core::CacheStats;
+///
+/// let before = CacheStats { hits: 10, misses: 4, ..CacheStats::default() };
+/// let after = CacheStats { hits: 25, misses: 5, entries: 5, ..CacheStats::default() };
+/// let round = after.delta_since(&before);
+/// assert_eq!((round.hits, round.misses), (15, 1));
+/// assert_eq!(round.entries, 5, "content fields describe the present");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups served from an existing entry.
@@ -154,6 +241,10 @@ impl CacheStats {
     /// registry) and `self`: monotone counters are differenced, content
     /// figures (`entries`, `current_bytes`, `peak_bytes`) are taken from
     /// `self`.
+    ///
+    /// Both snapshots being consistent cuts (see [`CacheRegistry::stats`]),
+    /// the delta counts every hit/miss/eviction between them exactly once —
+    /// even on a registry that other threads keep mutating.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
@@ -177,19 +268,21 @@ impl CacheStats {
     }
 }
 
+/// Mutable state of one lock shard, guarded by the shard's mutex.
 #[derive(Debug, Default)]
-struct RegistryInner {
+struct ShardInner {
     entries: Vec<CacheEntry>,
+    /// This shard's slice of the registry's byte budget.
     budget_bytes: Option<usize>,
+    /// Per-shard LRU clock (ticks are not comparable across shards — they
+    /// never need to be, eviction is shard-local).
     tick: u64,
-    hits: usize,
-    misses: usize,
     evictions: usize,
     current_bytes: usize,
     peak_bytes: usize,
 }
 
-impl RegistryInner {
+impl ShardInner {
     fn remove_at(&mut self, index: usize) {
         let removed = self.entries.swap_remove(index);
         self.current_bytes -= removed.bytes;
@@ -197,59 +290,188 @@ impl RegistryInner {
     }
 }
 
+/// One lock shard: its own entry table behind its own mutex, plus hit/miss
+/// counters as relaxed atomics. The atomics are only ever incremented while
+/// the shard's lock is held (the hit path holds it anyway to bump the LRU
+/// clock), so an all-locks snapshot reads them as part of a consistent cut;
+/// `Relaxed` suffices because the mutex provides the ordering.
+#[derive(Debug, Default)]
+struct Shard {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    inner: Mutex<ShardInner>,
+}
+
+#[derive(Debug)]
+struct RegistryState {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the shard count is a power of two so shard
+    /// selection is a mask, not a modulo.
+    mask: usize,
+    /// The global budget (the per-shard slices live in each shard).
+    budget_bytes: Option<usize>,
+}
+
 /// A process-wide, thread-safe registry of frozen-prefix boundary
 /// activations, shared by every client handed a clone of it.
 ///
 /// Entries are keyed by `(source_checksum, frozen_fingerprint, freeze)`:
-/// any number of logical clients holding the same shard under the same
+/// any number of logical clients holding the same data shard under the same
 /// backbone resolve to the **same** `Arc<Matrix>`, so memory scales with
-/// distinct shards rather than with clients. An optional byte budget
-/// ([`CacheRegistry::with_budget`]) is enforced by least-recently-used
-/// eviction *before* insertion, so [`CacheStats::peak_bytes`] never exceeds
-/// the budget; an entry larger than the whole budget is built and served
-/// but never retained. Cloning a `CacheRegistry` shares the underlying
-/// storage and counters.
-#[derive(Debug, Clone, Default)]
+/// distinct shards rather than with clients. Storage is split over a fixed
+/// power-of-two array of lock shards selected by key hash — a lookup takes
+/// exactly one shard lock, never a global one (see the module docs for the
+/// full invariant list). An optional byte budget is enforced by
+/// least-recently-used eviction *before* insertion, per shard over an exact
+/// split of the budget, so [`CacheStats::peak_bytes`] never exceeds the
+/// budget; an entry larger than its shard's budget slice is built and
+/// served but never retained. Cloning a `CacheRegistry` shares the
+/// underlying storage and counters.
+///
+/// # Examples
+///
+/// Two handles onto one sharded registry deduplicate identical data shards
+/// — one build, then hits, one shared allocation:
+///
+/// ```
+/// use fedft_core::CacheRegistry;
+/// use fedft_nn::{BlockNet, BlockNetConfig, FreezeLevel};
+/// use fedft_tensor::Matrix;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = BlockNet::new(&BlockNetConfig::new(4, 3).with_hidden(4, 4, 4), 1);
+/// let shard = Matrix::from_vec(2, 4, vec![0.5; 8])?;
+///
+/// let registry = CacheRegistry::sharded(8, None); // 8 lock shards, unbounded
+/// let a = registry.get_or_build(&model, FreezeLevel::Moderate, &shard)?;
+/// let b = registry.clone().get_or_build(&model, FreezeLevel::Moderate, &shard)?;
+/// assert!(Arc::ptr_eq(&a, &b), "one entry, shared by every handle");
+///
+/// let stats = registry.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
 pub struct CacheRegistry {
-    inner: Arc<Mutex<RegistryInner>>,
+    state: Arc<RegistryState>,
+}
+
+impl Default for CacheRegistry {
+    fn default() -> Self {
+        CacheRegistry::sharded(1, None)
+    }
 }
 
 impl CacheRegistry {
-    /// Creates an empty, unbounded registry.
+    /// Creates an empty, unbounded, **single-shard** registry — what
+    /// private per-client caches use, where a shard array would only waste
+    /// memory. Run-wide shared registries are built with
+    /// [`CacheRegistry::sharded`].
     pub fn new() -> Self {
         CacheRegistry::default()
     }
 
-    /// Creates an empty registry that evicts least-recently-used entries to
-    /// keep its total bytes at or below `budget_bytes`.
+    /// Creates an empty single-shard registry that evicts
+    /// least-recently-used entries to keep its total bytes at or below
+    /// `budget_bytes`. (The single shard makes the LRU order global —
+    /// exactly the pre-sharding behaviour.)
     pub fn with_budget(budget_bytes: usize) -> Self {
-        let registry = CacheRegistry::default();
-        registry
-            .inner
-            .lock()
-            .expect("cache registry lock poisoned")
-            .budget_bytes = Some(budget_bytes);
-        registry
+        CacheRegistry::sharded(1, Some(budget_bytes))
     }
 
-    /// The byte budget, or `None` for an unbounded registry.
+    /// Creates an empty registry with `shards` lock shards and an optional
+    /// global byte budget.
+    ///
+    /// The budget is split exactly across shards (`budget / shards` each,
+    /// remainder distributed one byte at a time to the first shards), and
+    /// each shard runs evict-before-insert LRU against its own slice —
+    /// which is what keeps the summed peak under the global budget without
+    /// any cross-shard coordination. Use
+    /// [`CacheRegistry::auto_shard_count`] to derive a shard count from the
+    /// host's parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two (shard selection is
+    /// a bit mask). [`crate::FlConfig::validate`] rejects such values
+    /// before they can reach this constructor.
+    pub fn sharded(shards: usize, budget_bytes: Option<usize>) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "cache registry shard count must be a power of two, got {shards}"
+        );
+        let shard_vec: Vec<Shard> = (0..shards)
+            .map(|index| {
+                let shard = Shard::default();
+                if let Some(budget) = budget_bytes {
+                    let base = budget / shards;
+                    let remainder = budget % shards;
+                    shard
+                        .inner
+                        .lock()
+                        .expect("fresh shard lock cannot be poisoned")
+                        .budget_bytes = Some(base + usize::from(index < remainder));
+                }
+                shard
+            })
+            .collect();
+        CacheRegistry {
+            state: Arc::new(RegistryState {
+                shards: shard_vec.into_boxed_slice(),
+                mask: shards - 1,
+                budget_bytes,
+            }),
+        }
+    }
+
+    /// The shard count a run-wide registry gets when
+    /// [`crate::FlConfig::cache_shards`] is left on auto: the host's
+    /// available parallelism rounded up to the next power of two, clamped
+    /// to at most 64 (beyond the core count extra shards only spread the
+    /// hash, they cannot reduce lock contention further).
+    pub fn auto_shard_count() -> usize {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .next_power_of_two()
+            .min(64)
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.state.shards.len()
+    }
+
+    /// The global byte budget, or `None` for an unbounded registry.
     pub fn budget_bytes(&self) -> Option<usize> {
-        self.lock().budget_bytes
+        self.state.budget_bytes
+    }
+
+    /// Each shard's slice of the byte budget (`None`s for an unbounded
+    /// registry). The slices sum exactly to [`CacheRegistry::budget_bytes`].
+    pub fn shard_budgets(&self) -> Vec<Option<usize>> {
+        self.state
+            .shards
+            .iter()
+            .map(|shard| lock_shard(shard).budget_bytes)
+            .collect()
     }
 
     /// Returns the cached boundary activations of `features` under
     /// `model`'s frozen prefix at `freeze`, computing them on a miss and
-    /// storing them unless that would overflow the byte budget.
+    /// storing them unless that would overflow the shard's byte budget.
     ///
-    /// The frozen forward pass runs **outside** the registry lock — the
-    /// build is the dominant cost, and holding the lock across it would
-    /// serialize unrelated shards' builds on the parallel executor. The
-    /// price is that two threads racing on the *same* key may both build
-    /// (both count as misses); the insert path re-checks and keeps the
-    /// first entry, so they still return one shared allocation and the
-    /// values are identical either way. Counters are exactly deterministic
-    /// under the sequential executor; under parallel execution only the
-    /// totals may wobble by such races, never the results.
+    /// Only the key's one lock shard is ever touched. The frozen forward
+    /// pass runs **outside** that lock — the build is the dominant cost,
+    /// and holding the lock across it would serialize same-shard builds on
+    /// the parallel executors. The price is that two threads racing on the
+    /// *same* key may both build (both count as misses); the insert path
+    /// re-checks and keeps the first entry, so they still return one shared
+    /// allocation and the values are identical either way. Counters are
+    /// exactly deterministic under the sequential executor at any shard
+    /// count; under parallel execution only the totals may wobble by such
+    /// races, never the results.
     ///
     /// # Errors
     ///
@@ -265,8 +487,9 @@ impl CacheRegistry {
             fingerprint: model.frozen_fingerprint(freeze),
             freeze,
         };
+        let shard = &self.state.shards[key.shard_index(self.state.mask)];
         {
-            let mut inner = self.lock();
+            let mut inner = lock_shard(shard);
             inner.tick += 1;
             let tick = inner.tick;
             let hit = inner.entries.iter_mut().find(|e| e.key == key).map(|e| {
@@ -274,15 +497,15 @@ impl CacheRegistry {
                 Arc::clone(&e.features)
             });
             if let Some(features) = hit {
-                inner.hits += 1;
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(features);
             }
-            inner.misses += 1;
+            shard.misses.fetch_add(1, Ordering::Relaxed);
         }
         let boundary = Arc::new(model.forward_frozen(freeze, features)?);
         let bytes = matrix_bytes(&boundary);
 
-        let mut inner = self.lock();
+        let mut inner = lock_shard(shard);
         inner.tick += 1;
         let tick = inner.tick;
         // Re-check: another thread may have inserted this key while we
@@ -296,10 +519,11 @@ impl CacheRegistry {
         if let Some(features) = raced {
             return Ok(features);
         }
-        // A backbone change invalidates what was cached for this shard and
-        // freeze level: the old activations can never be asked for again
+        // A backbone change invalidates what was cached for this data shard
+        // and freeze level: the old activations can never be asked for again
         // (their fingerprint is gone), so drop them instead of letting them
-        // squat in the budget.
+        // squat in the budget. Shard selection ignores the fingerprint, so
+        // every stale generation is guaranteed to live in *this* shard.
         while let Some(stale) = inner
             .entries
             .iter()
@@ -309,8 +533,9 @@ impl CacheRegistry {
         }
         if let Some(budget) = inner.budget_bytes {
             if bytes > budget {
-                // Larger than the whole budget: serve the activations but
-                // never retain them, so the peak stays under the budget.
+                // Larger than this shard's budget slice: serve the
+                // activations but never retain them, so the shard's peak —
+                // and therefore the summed peak — stays under budget.
                 return Ok(boundary);
             }
             while inner.current_bytes + bytes > budget {
@@ -335,22 +560,58 @@ impl CacheRegistry {
         Ok(boundary)
     }
 
-    /// A snapshot of the registry's counters.
+    /// A snapshot of the registry's counters, summed over its shards.
+    ///
+    /// The snapshot is a **consistent cut**: all shard locks are acquired
+    /// (in index order, so concurrent snapshots cannot deadlock) before any
+    /// counter is read, and every counter is only mutated under its shard's
+    /// lock — so no concurrent lookup or insert can fall between the
+    /// per-shard reads. Differencing two such snapshots
+    /// ([`CacheStats::delta_since`]) therefore attributes every event to
+    /// exactly one interval, which is what makes the per-round cache
+    /// counters on [`crate::RoundRecord`] exact even while executors keep
+    /// the registry hot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.entries.len(),
-            current_bytes: inner.current_bytes,
-            peak_bytes: inner.peak_bytes,
+        let guards = self.lock_all();
+        let mut total = CacheStats::default();
+        for (shard, inner) in self.state.shards.iter().zip(&guards) {
+            total.hits += shard.hits.load(Ordering::Relaxed);
+            total.misses += shard.misses.load(Ordering::Relaxed);
+            total.evictions += inner.evictions;
+            total.entries += inner.entries.len();
+            total.current_bytes += inner.current_bytes;
+            total.peak_bytes += inner.peak_bytes;
         }
+        total
     }
 
-    /// Number of entries currently cached.
+    /// Per-shard snapshots, in shard-index order — one [`CacheStats`] per
+    /// lock shard, taken under the same all-locks consistent cut as
+    /// [`CacheRegistry::stats`]. Summing them reproduces `stats()`; the
+    /// per-shard `peak_bytes` are what the split budget bounds individually.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        let guards = self.lock_all();
+        self.state
+            .shards
+            .iter()
+            .zip(&guards)
+            .map(|(shard, inner)| CacheStats {
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
+                evictions: inner.evictions,
+                entries: inner.entries.len(),
+                current_bytes: inner.current_bytes,
+                peak_bytes: inner.peak_bytes,
+            })
+            .collect()
+    }
+
+    /// Number of entries currently cached (all shards).
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.lock_all()
+            .iter()
+            .map(|inner| inner.entries.len())
+            .sum()
     }
 
     /// Returns `true` when nothing is cached.
@@ -358,32 +619,69 @@ impl CacheRegistry {
         self.len() == 0
     }
 
-    /// Drops every cached entry (counters, including the peak, are kept).
+    /// Drops every cached entry in every shard (counters, including the
+    /// peaks, are kept).
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.entries.clear();
-        inner.current_bytes = 0;
+        for mut inner in self.lock_all() {
+            inner.entries.clear();
+            inner.current_bytes = 0;
+        }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
-        self.inner.lock().expect("cache registry lock poisoned")
+    /// Acquires every shard lock in index order and returns the guards.
+    /// Index order makes concurrent all-locks operations deadlock-free;
+    /// holding all guards at once is what turns multi-shard reads into one
+    /// consistent cut.
+    fn lock_all(&self) -> Vec<MutexGuard<'_, ShardInner>> {
+        self.state.shards.iter().map(lock_shard).collect()
     }
+}
+
+fn lock_shard(shard: &Shard) -> MutexGuard<'_, ShardInner> {
+    shard.inner.lock().expect("cache shard lock poisoned")
 }
 
 /// A client's handle onto a [`CacheRegistry`].
 ///
-/// [`FeatureCache::new`] wraps a fresh private registry (the per-client
-/// caching of [`CacheScope::PerClient`]); [`FeatureCache::shared`] wraps a
-/// registry shared across clients, which is what deduplicates entries
-/// between logical clients holding the same shard. Cloning a `FeatureCache`
-/// shares the underlying registry either way.
+/// [`FeatureCache::new`] wraps a fresh private single-shard registry (the
+/// per-client caching of [`CacheScope::PerClient`]);
+/// [`FeatureCache::shared`] wraps a registry shared across clients —
+/// typically a sharded one built by [`crate::ClientPool`] — which is what
+/// deduplicates entries between logical clients holding the same data
+/// shard. Cloning a `FeatureCache` shares the underlying registry either
+/// way.
+///
+/// # Examples
+///
+/// ```
+/// use fedft_core::{CacheRegistry, FeatureCache};
+/// use fedft_nn::{BlockNet, BlockNetConfig, FreezeLevel};
+/// use fedft_tensor::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let registry = CacheRegistry::sharded(4, None);
+/// let client_a = FeatureCache::shared(registry.clone());
+/// let client_b = FeatureCache::shared(registry.clone());
+///
+/// let model = BlockNet::new(&BlockNetConfig::new(4, 3).with_hidden(4, 4, 4), 1);
+/// let shard = Matrix::from_vec(2, 4, vec![0.25; 8])?;
+/// client_a.get_or_build(&model, FreezeLevel::Classifier, &shard)?;
+/// client_b.get_or_build(&model, FreezeLevel::Classifier, &shard)?;
+///
+/// // Both handles resolved to one shared entry: a build, then a hit.
+/// assert_eq!(registry.stats().entries, 1);
+/// assert_eq!((registry.stats().hits, registry.stats().misses), (1, 1));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct FeatureCache {
     registry: CacheRegistry,
 }
 
 impl FeatureCache {
-    /// Creates a handle onto a fresh, private, unbounded registry.
+    /// Creates a handle onto a fresh, private, unbounded, single-shard
+    /// registry.
     pub fn new() -> Self {
         FeatureCache::default()
     }
@@ -495,6 +793,25 @@ mod tests {
     }
 
     #[test]
+    fn backbone_invalidation_is_shard_local_at_any_shard_count() {
+        // Shard selection ignores the fingerprint, so the stale generation
+        // is always found and dropped whatever the shard count.
+        for shards in [1, 2, 8, 16] {
+            let registry = CacheRegistry::sharded(shards, None);
+            let freeze = FreezeLevel::Moderate;
+            let x = features();
+            registry.get_or_build(&model(1), freeze, &x).unwrap();
+            registry.get_or_build(&model(2), freeze, &x).unwrap();
+            let stats = registry.stats();
+            assert_eq!(
+                (stats.entries, stats.evictions),
+                (1, 1),
+                "stale entry must be replaced, not accumulated, at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
     fn a_different_feature_matrix_rebuilds_instead_of_hitting() {
         let cache = FeatureCache::new();
         let m = model(1);
@@ -588,6 +905,95 @@ mod tests {
     }
 
     #[test]
+    fn sharded_constructor_validates_and_reports_shape() {
+        let registry = CacheRegistry::sharded(8, None);
+        assert_eq!(registry.shard_count(), 8);
+        assert_eq!(registry.budget_bytes(), None);
+        assert_eq!(registry.shard_budgets(), vec![None; 8]);
+        assert!(CacheRegistry::auto_shard_count().is_power_of_two());
+        assert!(CacheRegistry::auto_shard_count() >= 1);
+        assert!(CacheRegistry::auto_shard_count() <= 64);
+
+        let single = CacheRegistry::new();
+        assert_eq!(single.shard_count(), 1);
+
+        let caught = std::panic::catch_unwind(|| CacheRegistry::sharded(6, None));
+        assert!(caught.is_err(), "non-power-of-two shard counts must panic");
+        let caught = std::panic::catch_unwind(|| CacheRegistry::sharded(0, None));
+        assert!(caught.is_err(), "zero shards must panic");
+    }
+
+    #[test]
+    fn budget_split_is_exact_across_shards() {
+        // 1003 bytes over 4 shards: 250 each plus one extra byte to the
+        // first three — the slices must sum exactly to the global budget.
+        let registry = CacheRegistry::sharded(4, Some(1003));
+        assert_eq!(registry.budget_bytes(), Some(1003));
+        let slices = registry.shard_budgets();
+        assert_eq!(
+            slices,
+            vec![Some(251), Some(251), Some(251), Some(250)],
+            "base + remainder-to-the-first split"
+        );
+        assert_eq!(slices.iter().map(|s| s.unwrap()).sum::<usize>(), 1003);
+    }
+
+    #[test]
+    fn unbudgeted_stats_are_invariant_in_the_shard_count() {
+        // The same lookup sequence against 1/2/8-shard registries must
+        // produce identical totals — sharding only redistributes entries
+        // across locks.
+        let m = model(1);
+        let freeze = FreezeLevel::Moderate;
+        let shard = |offset: f32| {
+            Matrix::from_vec(
+                6,
+                5,
+                (0..30).map(|v| (v % 7) as f32 * 0.25 - offset).collect(),
+            )
+            .unwrap()
+        };
+        let inputs: Vec<Matrix> = (0..6).map(|i| shard(i as f32 * 0.125)).collect();
+        let run = |shards: usize| {
+            let registry = CacheRegistry::sharded(shards, None);
+            for _ in 0..3 {
+                for x in &inputs {
+                    registry.get_or_build(&m, freeze, x).unwrap();
+                }
+            }
+            registry.stats()
+        };
+        let reference = run(1);
+        assert_eq!(reference.misses, 6);
+        assert_eq!(reference.hits, 12);
+        for shards in [2, 8] {
+            assert_eq!(run(shards), reference, "stats diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_stats_sum_to_the_global_snapshot() {
+        let m = model(1);
+        let registry = CacheRegistry::sharded(4, None);
+        let x = features();
+        registry
+            .get_or_build(&m, FreezeLevel::Moderate, &x)
+            .unwrap();
+        registry
+            .get_or_build(&m, FreezeLevel::Classifier, &x)
+            .unwrap();
+        registry
+            .get_or_build(&m, FreezeLevel::Moderate, &x)
+            .unwrap();
+        let mut summed = CacheStats::default();
+        for shard in registry.shard_stats() {
+            summed.accumulate(&shard);
+        }
+        assert_eq!(summed, registry.stats());
+        assert_eq!(registry.shard_stats().len(), 4);
+    }
+
+    #[test]
     fn budget_evicts_lru_and_rebuilds_bit_identically() {
         let m = model(1);
         let freeze = FreezeLevel::Moderate;
@@ -601,6 +1007,7 @@ mod tests {
         };
         let (a, b, c) = (shard(0.5), shard(0.25), shard(0.75));
         let entry_bytes = matrix_bytes(&m.forward_frozen(freeze, &a).unwrap());
+        // Single shard: the LRU order below is global, as pre-sharding.
         let registry = CacheRegistry::with_budget(2 * entry_bytes);
         assert_eq!(registry.budget_bytes(), Some(2 * entry_bytes));
 
@@ -645,6 +1052,27 @@ mod tests {
     }
 
     #[test]
+    fn entries_oversized_for_their_shard_slice_are_served_but_never_retained() {
+        let m = model(1);
+        let freeze = FreezeLevel::Moderate;
+        let x = features();
+        let entry_bytes = matrix_bytes(&m.forward_frozen(freeze, &x).unwrap());
+        // The entry fits the *global* budget but not any per-shard slice:
+        // with 4 shards each slice is under one entry, so nothing is ever
+        // retained anywhere — the documented budget-split granularity.
+        let registry = CacheRegistry::sharded(4, Some(2 * entry_bytes));
+        for slice in registry.shard_budgets() {
+            assert!(slice.unwrap() < entry_bytes);
+        }
+        let first = registry.get_or_build(&m, freeze, &x).unwrap();
+        assert_eq!(*first, m.forward_frozen(freeze, &x).unwrap());
+        assert!(registry.is_empty());
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(stats.peak_bytes, 0);
+    }
+
+    #[test]
     fn stats_deltas_and_accumulation() {
         let registry = CacheRegistry::new();
         let m = model(1);
@@ -674,6 +1102,71 @@ mod tests {
         assert_eq!(cleared.current_bytes, 0);
         assert_eq!(cleared.misses, after.misses);
         assert_eq!(cleared.peak_bytes, after.peak_bytes);
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_no_counter_and_respects_shard_budgets() {
+        // A multi-thread stress over a budgeted sharded registry: every
+        // lookup must be counted exactly once (hits + misses = lookups),
+        // eviction accounting must balance (entries on hand are exactly
+        // the surviving inserts), and the byte ledgers must respect both
+        // the per-shard slices and the global budget at the peak.
+        let m = model(1);
+        let freeze = FreezeLevel::Moderate;
+        let shard = |offset: f32| {
+            Matrix::from_vec(
+                6,
+                5,
+                (0..30).map(|v| (v % 7) as f32 * 0.25 - offset).collect(),
+            )
+            .unwrap()
+        };
+        let inputs: Vec<Matrix> = (0..16).map(|i| shard(i as f32 * 0.0625)).collect();
+        let entry_bytes = matrix_bytes(&m.forward_frozen(freeze, &inputs[0]).unwrap());
+        // Budget below the 16-entry working set, so shards must evict.
+        let registry = CacheRegistry::sharded(4, Some(8 * entry_bytes));
+        let threads = 4;
+        let per_thread = 400;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = registry.clone();
+                let m = &m;
+                let inputs = &inputs;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let x = &inputs[(i * 7 + t * 3) % inputs.len()];
+                        let built = registry.get_or_build(m, freeze, x).unwrap();
+                        assert_eq!(built.rows(), x.rows());
+                    }
+                });
+            }
+        });
+        let stats = registry.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            threads * per_thread,
+            "every lookup counted exactly once"
+        );
+        assert!(stats.evictions > 0, "a sub-working-set budget must evict");
+        assert!(
+            stats.peak_bytes <= 8 * entry_bytes,
+            "global peak under budget"
+        );
+        assert_eq!(stats.current_bytes, stats.entries * entry_bytes);
+        for (shard_stats, slice) in registry.shard_stats().iter().zip(registry.shard_budgets()) {
+            let slice = slice.unwrap();
+            assert!(
+                shard_stats.peak_bytes <= slice,
+                "shard peak {} exceeds its budget slice {slice}",
+                shard_stats.peak_bytes
+            );
+            assert_eq!(shard_stats.current_bytes, shard_stats.entries * entry_bytes);
+        }
+        // Every cached value is still the right one after the churn.
+        for x in &inputs {
+            let rebuilt = registry.get_or_build(&m, freeze, x).unwrap();
+            assert_eq!(*rebuilt, m.forward_frozen(freeze, x).unwrap());
+        }
     }
 
     #[test]

@@ -101,6 +101,21 @@ pub struct FlConfig {
     /// with [`CacheScope::Shared`]; rejected by validation under
     /// [`CacheScope::PerClient`].
     pub cache_budget_bytes: Option<usize>,
+    /// Number of lock shards of the shared [`crate::cache::CacheRegistry`]:
+    /// the registry's storage is split over a power-of-two array of shards
+    /// selected by key hash, so concurrent cache lookups contend per shard
+    /// instead of on one global lock. `None` (the default) sizes the array
+    /// from the host's parallelism
+    /// ([`crate::cache::CacheRegistry::auto_shard_count`]); `Some(n)` pins
+    /// it (must be a power of two — `Some(1)` reproduces the pre-sharding
+    /// single-lock registry exactly). The shard count cannot change results
+    /// or, under sequential execution, cache counters — it only
+    /// redistributes entries across locks (with a byte budget, it also sets
+    /// the budget-split granularity: each shard budgets `budget / n`). Only
+    /// meaningful with [`CacheScope::Shared`]; rejected by validation under
+    /// [`CacheScope::PerClient`], whose private caches are always
+    /// single-shard.
+    pub cache_shards: Option<usize>,
     /// Size of the *logical* client pool: `Some(n)` simulates `n` clients
     /// mapped round-robin onto the federated dataset's physical shards
     /// (logical client `i` holds shard `i % num_shards`), so the simulated
@@ -139,6 +154,7 @@ impl Default for FlConfig {
             feature_cache: false,
             cache_scope: CacheScope::Shared,
             cache_budget_bytes: None,
+            cache_shards: None,
             logical_clients: None,
             seed: 0,
             execution: ExecutionBackend::Parallel,
@@ -226,6 +242,13 @@ impl FlConfig {
         self
     }
 
+    /// Pins the shared cache registry to `n` lock shards (power of two;
+    /// `None`/default sizes it from the host's parallelism).
+    pub fn with_cache_shards(mut self, n: usize) -> Self {
+        self.cache_shards = Some(n);
+        self
+    }
+
     /// Simulates a pool of `n` logical clients mapped round-robin onto the
     /// dataset's physical shards.
     pub fn with_logical_clients(mut self, n: usize) -> Self {
@@ -271,7 +294,8 @@ impl FlConfig {
     /// parameters, or a finite deadline combined with the async or streaming
     /// backend — those replace deadline drops with their own scheduling), or
     /// invalid cache/pool knobs (zero logical clients, a zero byte budget,
-    /// or a budget under [`CacheScope::PerClient`]).
+    /// a non-power-of-two shard count, or a budget or shard count under
+    /// [`CacheScope::PerClient`]).
     pub fn validate(&self) -> Result<()> {
         self.validate_round_loop()?;
         self.validate_population()?;
@@ -387,6 +411,24 @@ impl FlConfig {
                        use CacheScope::Shared"
                     .into(),
             });
+        }
+        if let Some(shards) = self.cache_shards {
+            if !shards.is_power_of_two() {
+                return Err(FlError::InvalidConfig {
+                    what: format!(
+                        "cache_shards must be a power of two (shard selection \
+                         is a bit mask), got {shards}"
+                    ),
+                });
+            }
+            if self.cache_scope == CacheScope::PerClient {
+                return Err(FlError::InvalidConfig {
+                    what: "cache_shards is a property of the shared registry \
+                           (per-client caches are always single-shard); \
+                           use CacheScope::Shared"
+                        .into(),
+                });
+            }
         }
         Ok(())
     }
@@ -589,6 +631,35 @@ mod tests {
         assert!(FlConfig::default()
             .with_cache_scope(CacheScope::PerClient)
             .with_cache_budget(1024)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn cache_shards_knob_applies_and_validates() {
+        let c = FlConfig::default();
+        assert_eq!(c.cache_shards, None, "auto-sized by default");
+        for shards in [1, 2, 8, 64] {
+            let c = FlConfig::default().with_cache_shards(shards);
+            assert_eq!(c.cache_shards, Some(shards));
+            assert!(c.validate().is_ok());
+        }
+        // Shard selection is a bit mask: the count must be a power of two
+        // (and zero shards is meaningless).
+        for shards in [0, 3, 6, 12, 100] {
+            assert!(
+                FlConfig::default()
+                    .with_cache_shards(shards)
+                    .validate()
+                    .is_err(),
+                "{shards} shards must be rejected"
+            );
+        }
+        // Like the byte budget, the shard count is a property of the
+        // shared registry.
+        assert!(FlConfig::default()
+            .with_cache_scope(CacheScope::PerClient)
+            .with_cache_shards(8)
             .validate()
             .is_err());
     }

@@ -500,8 +500,7 @@ impl ArrivalModel {
                 peak_sharpness,
             } => {
                 let two_pi = 2.0 * std::f64::consts::PI;
-                period_seconds * u
-                    - peak_sharpness * (period_seconds / two_pi) * (two_pi * u).sin()
+                period_seconds * u - peak_sharpness * (period_seconds / two_pi) * (two_pi * u).sin()
             }
         }
     }

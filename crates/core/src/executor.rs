@@ -57,6 +57,37 @@
 //! differs), so cached rounds replay uncached histories bit for bit on all
 //! five executors — pinned by `tests/feature_cache_e2e.rs` and
 //! `tests/logical_pool_e2e.rs`.
+//!
+//! # Invariants
+//!
+//! The executor layer is held to a small set of contracts; every new
+//! backend (or refactor of an existing one) must keep them green:
+//!
+//! * **Degenerate-config bit-identity.** Each scheduling backend has a
+//!   parameterisation that reduces it to [`SequentialExecutor`] exactly:
+//!   `Parallel` always, `Deadline` with an infinite deadline and no offline
+//!   tiers, `Async` at `max_staleness = 0`, `Streaming` at
+//!   `K = cohort, steady arrivals, staleness 0`. "Reduces" means the
+//!   [`crate::RunResult::learning_history`] views are `==` — the histories
+//!   with cache counters and flush bookkeeping zeroed, since those
+//!   legitimately differ between backends that do the same learning.
+//! * **Order-independent aggregation.** Updates are handed to the server
+//!   in participant order whatever thread or simulated-clock order produced
+//!   them; combined with every local update being a pure function of
+//!   `(global model, client data, config, round)`, this is what makes the
+//!   parallel backends reproducible.
+//! * **Uniform construction and timing.** [`ExecutionBackend::executor`] is
+//!   the only construction point; scheduling executors are `over(inner)`
+//!   wrappers around an inner training executor and report through the one
+//!   shared [`RoundTiming`]/[`UpdateTiming`] surface rather than
+//!   backend-specific side channels.
+//! * **Cache transparency.** Executors never touch the cache registry
+//!   directly — clients do, through their [`crate::cache::FeatureCache`]
+//!   handles — and the per-round cache counters on
+//!   [`crate::RoundRecord`] are consistent-cut snapshot deltas taken by the
+//!   round loop (see [`crate::CacheRegistry::stats`]), so they stay exact
+//!   under any number of worker threads and any
+//!   [`FlConfig::cache_shards`] setting.
 
 use crate::client::{Client, ClientUpdate};
 use crate::config::FlConfig;
@@ -134,10 +165,9 @@ impl ExecutionBackend {
             ExecutionBackend::Sequential => Box::new(SequentialExecutor),
             ExecutionBackend::Parallel => Box::new(ParallelExecutor::new()),
             ExecutionBackend::Deadline => Box::new(DeadlineExecutor::over(ParallelExecutor::new())),
-            ExecutionBackend::Async { max_staleness } => Box::new(AsyncExecutor::over(
-                *max_staleness,
-                ParallelExecutor::new(),
-            )),
+            ExecutionBackend::Async { max_staleness } => {
+                Box::new(AsyncExecutor::over(*max_staleness, ParallelExecutor::new()))
+            }
             ExecutionBackend::Streaming(params) => {
                 Box::new(StreamingExecutor::over(*params, ParallelExecutor::new()))
             }
@@ -1373,8 +1403,12 @@ mod tests {
             Err(FlError::NoParticipants { round: 0 })
         ));
         assert!(matches!(
-            StreamingExecutor::over(StreamingParams::new(2), SequentialExecutor)
-                .run_round(&[], &m, &c, 0),
+            StreamingExecutor::over(StreamingParams::new(2), SequentialExecutor).run_round(
+                &[],
+                &m,
+                &c,
+                0
+            ),
             Err(FlError::NoParticipants { round: 0 })
         ));
     }

@@ -58,7 +58,11 @@ pub struct RoundRecord {
     pub cumulative_wall_seconds: f64,
     /// Feature-cache lookups served from an existing entry during this
     /// round, summed over the run's cache registries. Zero when
-    /// [`crate::FlConfig::feature_cache`] is off.
+    /// [`crate::FlConfig::feature_cache`] is off. Per-round cache counters
+    /// are deltas between consecutive registry snapshots; each snapshot is
+    /// a consistent cut over the registry's lock shards (see
+    /// [`crate::CacheRegistry::stats`]), so every cache event of the run
+    /// lands in exactly one round's record.
     pub cache_hits: usize,
     /// Feature-cache lookups that had to build the activations during this
     /// round.

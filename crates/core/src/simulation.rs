@@ -23,10 +23,12 @@ use std::sync::Arc;
 /// same boundary activations `N/M` times. Under
 /// [`CacheScope::Shared`] the pool therefore hands every client a handle
 /// onto **one** [`CacheRegistry`] (budgeted by
-/// [`FlConfig::cache_budget_bytes`]), so cache memory scales with `M`;
-/// under [`CacheScope::PerClient`] each client keeps a private unbounded
-/// cache — the baseline the shared registry is pinned bit-identical
-/// against.
+/// [`FlConfig::cache_budget_bytes`], lock-sharded per
+/// [`FlConfig::cache_shards`] — auto-sized from the host's parallelism when
+/// unset), so cache memory scales with `M`; under
+/// [`CacheScope::PerClient`] each client keeps a private unbounded
+/// single-shard cache — the baseline the shared registry is pinned
+/// bit-identical against.
 #[derive(Debug, Clone)]
 pub struct ClientPool {
     clients: Vec<Client>,
@@ -40,7 +42,8 @@ impl ClientPool {
     /// # Errors
     ///
     /// Returns [`FlError::InvalidConfig`] for an invalid pool description
-    /// (zero logical clients, a budget outside the shared scope).
+    /// (zero logical clients, a budget or shard count outside the shared
+    /// scope, a non-power-of-two shard count).
     pub fn build(data: &FederatedDataset, config: &FlConfig) -> Result<ClientPool> {
         let physical_shards = data.num_clients();
         let logical = config.logical_clients.unwrap_or(physical_shards);
@@ -60,13 +63,33 @@ impl ClientPool {
                     .into(),
             });
         }
+        // Same reasoning for the shard count: per-client caches are always
+        // single-shard, so a pinned shard count would be silently ignored.
+        if let Some(lock_shards) = config.cache_shards {
+            if !lock_shards.is_power_of_two() {
+                return Err(FlError::InvalidConfig {
+                    what: format!(
+                        "cache_shards must be a power of two (shard selection \
+                         is a bit mask), got {lock_shards}"
+                    ),
+                });
+            }
+            if config.cache_scope == CacheScope::PerClient {
+                return Err(FlError::InvalidConfig {
+                    what: "cache_shards is a property of the shared registry \
+                           (per-client caches are always single-shard); \
+                           use CacheScope::Shared"
+                        .into(),
+                });
+            }
+        }
         let shards: Vec<Arc<Dataset>> = data.clients().iter().cloned().map(Arc::new).collect();
         let (clients, registries) = match config.cache_scope {
             CacheScope::Shared => {
-                let registry = match config.cache_budget_bytes {
-                    Some(bytes) => CacheRegistry::with_budget(bytes),
-                    None => CacheRegistry::new(),
-                };
+                let lock_shards = config
+                    .cache_shards
+                    .unwrap_or_else(CacheRegistry::auto_shard_count);
+                let registry = CacheRegistry::sharded(lock_shards, config.cache_budget_bytes);
                 let clients = (0..logical)
                     .map(|i| {
                         Client::from_shard(
@@ -437,6 +460,42 @@ mod tests {
             "dedup must shrink peak bytes ({} vs {})",
             shared_stats.peak_bytes,
             stats.peak_bytes
+        );
+    }
+
+    #[test]
+    fn client_pool_resolves_the_cache_shard_count() {
+        let (fed, _) = tiny_setup(2);
+        // Pinned: the registry gets exactly the configured shard count.
+        let pinned = quick_config(1)
+            .with_feature_cache(true)
+            .with_cache_shards(8);
+        let pool = ClientPool::build(&fed, &pinned).unwrap();
+        let registry = pool.clients()[0].feature_cache().registry();
+        assert_eq!(registry.shard_count(), 8);
+        // Auto (the default): sized from the host's parallelism.
+        let auto = quick_config(1).with_feature_cache(true);
+        let pool = ClientPool::build(&fed, &auto).unwrap();
+        assert_eq!(
+            pool.clients()[0].feature_cache().registry().shard_count(),
+            CacheRegistry::auto_shard_count()
+        );
+        // The pool re-checks the knob even when `FlConfig::validate` was
+        // bypassed: bad counts and per-client scope are rejected.
+        let mut bad = quick_config(1);
+        bad.cache_shards = Some(6);
+        assert!(ClientPool::build(&fed, &bad).is_err());
+        let mut bad = quick_config(1).with_cache_scope(crate::cache::CacheScope::PerClient);
+        bad.cache_shards = Some(8);
+        assert!(ClientPool::build(&fed, &bad).is_err());
+        // Per-client caches stay single-shard whatever the host looks like.
+        let per_client = quick_config(1)
+            .with_feature_cache(true)
+            .with_cache_scope(crate::cache::CacheScope::PerClient);
+        let pool = ClientPool::build(&fed, &per_client).unwrap();
+        assert_eq!(
+            pool.clients()[0].feature_cache().registry().shard_count(),
+            1
         );
     }
 

@@ -1,0 +1,159 @@
+//! End-to-end contract of the **sharded** cache registry: the lock-shard
+//! count is pure concurrency plumbing, so it must never change results —
+//! learning histories are bit-identical for any shard count across all five
+//! execution backends, and under sequential execution even the cache
+//! counters (hits/misses/evictions, peak bytes) are identical at any shard
+//! count. Byte budgets keep their meaning under sharding: the budget is
+//! split across shards and the summed peak stays under the global budget.
+
+use fedft::core::{
+    ExecutionBackend, FlConfig, RunResult, SelectionStrategy, Simulation, StreamingParams,
+};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig};
+
+const SHARDS: usize = 6;
+const LOGICAL: usize = 120;
+
+fn setup() -> (FederatedDataset, BlockNet) {
+    let bundle = domains::cifar10_like()
+        .with_samples_per_class(12)
+        .with_test_samples_per_class(4)
+        .generate(5)
+        .unwrap();
+    let fed = FederatedDataset::partition(
+        &bundle.train,
+        bundle.test.clone(),
+        SHARDS,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        7,
+    )
+    .unwrap();
+    let model_cfg = BlockNetConfig::new(bundle.train.feature_dim(), 10).with_hidden(16, 16, 16);
+    (fed, BlockNet::new(&model_cfg, 3))
+}
+
+fn pool_config() -> FlConfig {
+    FlConfig::default()
+        .with_rounds(3)
+        .with_local_epochs(1)
+        .with_batch_size(16)
+        .with_logical_clients(LOGICAL)
+        .with_participation(0.1)
+        .with_selection(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1,
+        })
+        .with_feature_cache(true)
+        .serial()
+}
+
+fn run(label: &str, config: FlConfig, fed: &FederatedDataset, model: &BlockNet) -> RunResult {
+    Simulation::new(config)
+        .unwrap()
+        .run_labelled(label, fed, model)
+        .unwrap()
+}
+
+#[test]
+fn sequential_runs_are_fully_identical_at_any_shard_count() {
+    // Under sequential execution the shard count cannot change *anything*:
+    // not the learning history, and not a single cache counter — sharding
+    // only redistributes entries across locks. Full `rounds` equality, not
+    // the cache-zeroed view.
+    let (fed, model) = setup();
+    let reference = run("shards1", pool_config().with_cache_shards(1), &fed, &model);
+    assert!(
+        reference.total_cache_hits() > 0,
+        "the cache must be in play"
+    );
+    for shards in [2, 8] {
+        let result = run(
+            "sweep",
+            pool_config().with_cache_shards(shards),
+            &fed,
+            &model,
+        );
+        assert_eq!(
+            reference.rounds, result.rounds,
+            "rounds (including cache counters) diverged at {shards} shards"
+        );
+    }
+    // Auto sizing (the default) picks some power of two — results and
+    // counters still match the single-lock run exactly.
+    let auto = run("auto", pool_config(), &fed, &model);
+    assert_eq!(reference.rounds, auto.rounds);
+}
+
+#[test]
+fn shard_count_invariance_holds_across_all_five_backends() {
+    // The five backends schedule lookups in very different orders (threads,
+    // simulated clocks, buffered flushes) — the learning history must be
+    // shard-count-invariant under every one of them.
+    let (fed, model) = setup();
+    let backends: [(&str, ExecutionBackend); 5] = [
+        ("sequential", ExecutionBackend::Sequential),
+        ("parallel", ExecutionBackend::Parallel),
+        ("deadline", ExecutionBackend::Deadline),
+        ("async", ExecutionBackend::Async { max_staleness: 2 }),
+        (
+            "streaming",
+            ExecutionBackend::Streaming(StreamingParams::new(5).with_max_staleness(1)),
+        ),
+    ];
+    for (name, backend) in backends {
+        let base = pool_config().with_execution(backend);
+        let reference = run(name, base.clone().with_cache_shards(1), &fed, &model);
+        for shards in [2, 8] {
+            let result = run(name, base.clone().with_cache_shards(shards), &fed, &model);
+            assert_eq!(
+                reference.learning_history(),
+                result.learning_history(),
+                "{name} history diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn split_budget_still_bounds_the_peak_and_preserves_the_history() {
+    let (fed, model) = setup();
+    let unbounded = run("unbounded", pool_config(), &fed, &model);
+    let full_bytes = unbounded.peak_cache_bytes();
+    assert!(full_bytes > 0);
+
+    // Half the deduplicated working set over 2 lock shards: each shard
+    // budgets a quarter of the set, so whichever shard the key hash favours
+    // must churn — while the history stays bit-identical and the *summed*
+    // peak honours the *global* budget (per-shard evict-before-insert over
+    // the exact split is what guarantees this without any global lock).
+    let budget = full_bytes / 2;
+    let budgeted = run(
+        "budgeted",
+        pool_config().with_cache_shards(2).with_cache_budget(budget),
+        &fed,
+        &model,
+    );
+    assert_eq!(unbounded.learning_history(), budgeted.learning_history());
+    assert!(budgeted.peak_cache_bytes() <= budget);
+    for record in &budgeted.rounds {
+        assert!(record.cache_peak_bytes <= budget);
+    }
+    assert!(budgeted.total_cache_evictions() > 0);
+    assert!(budgeted.total_cache_misses() > unbounded.total_cache_misses());
+
+    // Finer sharding shrinks the per-shard slice below typical entry sizes
+    // (the documented budget-split granularity): entries that no longer fit
+    // their slice are served but not retained — so rebuild misses can only
+    // grow, the peak stays legal, and the history still never moves.
+    let fine = run(
+        "fine",
+        pool_config().with_cache_shards(8).with_cache_budget(budget),
+        &fed,
+        &model,
+    );
+    assert_eq!(unbounded.learning_history(), fine.learning_history());
+    assert!(fine.peak_cache_bytes() <= budget);
+    assert!(fine.total_cache_misses() >= budgeted.total_cache_misses());
+}

@@ -241,7 +241,9 @@ fn streaming_pool_respects_the_cache_byte_budget_under_churn() {
 
     let budget = full_bytes / 2;
     let budgeted = run(
-        pool(params).with_feature_cache(true).with_cache_budget(budget),
+        pool(params)
+            .with_feature_cache(true)
+            .with_cache_budget(budget),
         &fed,
         &model,
     );
