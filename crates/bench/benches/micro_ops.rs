@@ -129,20 +129,64 @@ fn bench_entropy_selection(c: &mut Criterion) {
 
 fn bench_aggregation(c: &mut Criterion) {
     let server = Server::new();
-    let updates: Vec<ClientUpdate> = (0..50)
-        .map(|id| ClientUpdate {
-            client_id: id,
-            theta: ParamVector::from_values(vec![id as f32; 10_000]),
-            selected_samples: id + 1,
-            local_samples: 100,
-            train_loss: 0.1,
-            compute_seconds: 1.0,
-            cached_compute_seconds: 0.5,
-        })
-        .collect();
+    let make_updates = |count: usize| -> Vec<ClientUpdate> {
+        (0..count)
+            .map(|id| ClientUpdate {
+                client_id: id,
+                theta: ParamVector::from_values(vec![id as f32; 10_000]),
+                selected_samples: id + 1,
+                local_samples: 100,
+                train_loss: 0.1,
+                compute_seconds: 1.0,
+                cached_compute_seconds: 0.5,
+            })
+            .collect()
+    };
+    let updates = make_updates(50);
     c.bench_function("aggregate_50_clients_10k_params", |bencher| {
         bencher.iter(|| server.aggregate(&updates, 0).unwrap())
     });
+    // 200 clients × 10k parameters = 2²¹ accumulation steps — over the
+    // pooled-aggregation threshold, so this measures the worker-pool path
+    // of `ParamVector::weighted_average_refs` (element-partitioned, still
+    // bit-identical to the sequential loop).
+    let large_cohort = make_updates(200);
+    c.bench_function("aggregate_200_clients_10k_params", |bencher| {
+        bencher.iter(|| server.aggregate(&large_cohort, 0).unwrap())
+    });
+}
+
+/// Dispatch-overhead pair for the persistent worker pool: waking parked
+/// workers for an (almost) empty fan-out versus paying a fresh
+/// `thread::scope` spawn for the same shape. On a single-core host the pool
+/// runs the chunks inline — exactly what the executor does there — while
+/// the scoped variant still pays real spawns, so the pair quantifies what
+/// the pool saves per dispatch on any host.
+fn bench_pool_dispatch(c: &mut Criterion) {
+    for workers in [2_usize, 4, 8] {
+        c.bench_function(
+            &format!("pool_dispatch_noop_{workers}_workers"),
+            |bencher| {
+                bencher.iter(|| {
+                    fedft_tensor::pool::run_chunks(workers, workers, |range| range.start)
+                        .into_iter()
+                        .sum::<usize>()
+                })
+            },
+        );
+        c.bench_function(&format!("scoped_spawn_noop_{workers}_workers"), |bencher| {
+            bencher.iter(|| {
+                let mut total = 0_usize;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers).map(|i| scope.spawn(move || i)).collect();
+                    for handle in handles {
+                        total += handle.join().unwrap();
+                    }
+                });
+                total
+            })
+        });
+    }
 }
 
 fn bench_client_local_update(c: &mut Criterion) {
@@ -204,6 +248,7 @@ criterion_group!(
         bench_suffix_round_batch,
         bench_entropy_selection,
         bench_aggregation,
+        bench_pool_dispatch,
         bench_client_local_update,
         bench_client_local_update_cached
 );

@@ -31,12 +31,18 @@
 //!    always asserted; on multi-core hosts the sharded registry's
 //!    lookups/sec must be at least the single lock's (same gate as the
 //!    parallel speedup check);
-//! 7. writes a `BENCH_scaling.json` artifact with the measured curve, the
+//! 7. runs the **pool dispatch contrast**: many round-shaped fan-outs of
+//!    small per-chunk work, dispatched once through the persistent worker
+//!    pool (what the round executor does) and once via fresh
+//!    `thread::scope` spawns (what it used to do). On multi-core hosts the
+//!    pooled rounds/sec must be at least the spawning variant's (same gate
+//!    as the parallel speedup check);
+//! 8. writes a `BENCH_scaling.json` artifact with the measured curve, the
 //!    *simulated* wall-clock contrast (async overlap vs synchronous
 //!    rounds), per-backend cache hit/miss/peak-bytes counters, the
-//!    logical-pool cache section, the streaming throughput/flush section
-//!    and the cache-contention section — all hardware-independent except
-//!    the elapsed times.
+//!    logical-pool cache section, the streaming throughput/flush section,
+//!    the cache-contention section and the pool-dispatch section — all
+//!    hardware-independent except the elapsed times.
 //!
 //! Usage: `scaling_smoke [--out BENCH_scaling.json]`. Set
 //! `FEDFT_SCALING_ASSERT=0`/`1` to force the speedup assertion off/on
@@ -89,6 +95,10 @@ const CONTENTION_KEYS: usize = 64;
 /// Hit lookups per hammering thread (the key set is prewarmed first, so
 /// misses never mix into the measured loop).
 const CONTENTION_LOOKUPS: usize = 200_000;
+/// Pool-dispatch scenario: round-shaped fan-outs where the per-chunk work
+/// is small enough that dispatch overhead is a visible fraction of each
+/// round — the regime where pooled wake-ups beat fresh spawns hardest.
+const DISPATCH_ROUNDS: usize = 300;
 /// Parallel may be up to this factor slower than sequential before the
 /// smoke check fails — absorbs scheduler noise on shared CI runners while
 /// still catching a parallel path that stopped scaling at all.
@@ -549,6 +559,78 @@ fn run_cache_contention(
     })
 }
 
+/// Outcome of the pool-dispatch scenario, written into the JSON artifact.
+struct PoolDispatchReport {
+    rounds: usize,
+    chunks_per_round: usize,
+    pooled_rounds_per_sec: f64,
+    spawn_rounds_per_sec: f64,
+    speedup: f64,
+}
+
+/// Runs the pool-dispatch contrast: `DISPATCH_ROUNDS` round-shaped
+/// fan-outs of small per-chunk GEMM work, dispatched through the
+/// persistent worker pool (the round executor's path) and via fresh
+/// `thread::scope` spawns (the pre-pool path, kept here as the reference).
+/// On multi-core hosts (`assert_throughput`) the pooled variant must
+/// sustain at least the spawning variant's rounds/sec.
+fn run_pool_dispatch(
+    cores: usize,
+    assert_throughput: bool,
+) -> Result<PoolDispatchReport, Box<dyn std::error::Error>> {
+    let chunks = cores.clamp(2, 8);
+    // Small enough that a round is dominated by coordination, big enough
+    // that the chunk bodies are real work the scheduler must wait for.
+    let a = Matrix::from_vec(32, 48, (0..32 * 48).map(|v| v as f32 * 1e-3).collect())?;
+    let b = Matrix::from_vec(
+        48,
+        32,
+        (0..48 * 32).map(|v| v as f32 * 1e-3 - 0.7).collect(),
+    )?;
+    let chunk_work = || -> Result<f32, fedft_tensor::TensorError> {
+        // Mirror the executor: each chunk runs its kernels single-threaded
+        // so the fan-out under measurement is the only parallelism.
+        fedft_tensor::parallel::single_threaded(|| a.matmul(&b).map(|m| m.get(0, 0)))
+    };
+
+    let pooled_start = Instant::now();
+    for _ in 0..DISPATCH_ROUNDS {
+        let outputs = fedft_tensor::pool::run_chunks(chunks, chunks, |_range| chunk_work());
+        for output in outputs {
+            output?;
+        }
+    }
+    let pooled_rounds_per_sec = DISPATCH_ROUNDS as f64 / pooled_start.elapsed().as_secs_f64();
+
+    let spawn_start = Instant::now();
+    for _ in 0..DISPATCH_ROUNDS {
+        std::thread::scope(|scope| -> Result<(), fedft_tensor::TensorError> {
+            let handles: Vec<_> = (0..chunks).map(|_| scope.spawn(chunk_work)).collect();
+            for handle in handles {
+                handle.join().expect("spawned dispatch chunk panicked")?;
+            }
+            Ok(())
+        })?;
+    }
+    let spawn_rounds_per_sec = DISPATCH_ROUNDS as f64 / spawn_start.elapsed().as_secs_f64();
+
+    let speedup = pooled_rounds_per_sec / spawn_rounds_per_sec;
+    if assert_throughput && pooled_rounds_per_sec * NOISE_ALLOWANCE < spawn_rounds_per_sec {
+        return Err(format!(
+            "pool dispatch: pooled fan-out sustains {pooled_rounds_per_sec:.0} rounds/sec, \
+             below scoped spawning's {spawn_rounds_per_sec:.0} on {cores} cores"
+        )
+        .into());
+    }
+    Ok(PoolDispatchReport {
+        rounds: DISPATCH_ROUNDS,
+        chunks_per_round: chunks,
+        pooled_rounds_per_sec,
+        spawn_rounds_per_sec,
+        speedup,
+    })
+}
+
 fn assert_speedup_enabled(cores: usize) -> bool {
     match std::env::var("FEDFT_SCALING_ASSERT").as_deref() {
         Ok("0") => false,
@@ -564,6 +646,7 @@ fn render_json(
     pool: &PoolReport,
     stream: &StreamReport,
     contention: &ContentionReport,
+    dispatch: &PoolDispatchReport,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -685,6 +768,27 @@ fn render_json(
     );
     let _ = writeln!(out, "    \"speedup\": {:.3},", contention.speedup);
     let _ = writeln!(out, "    \"asserted\": {asserted}");
+    out.push_str("  },\n");
+    out.push_str("  \"pool_dispatch\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"scenario\": \"{} round-shaped fan-outs x {} chunks of small GEMM work, \
+         persistent pool vs fresh thread::scope spawns\",",
+        dispatch.rounds, dispatch.chunks_per_round
+    );
+    let _ = writeln!(out, "    \"rounds\": {},", dispatch.rounds);
+    let _ = writeln!(
+        out,
+        "    \"chunks_per_round\": {},",
+        dispatch.chunks_per_round
+    );
+    let _ = writeln!(
+        out,
+        "    \"rounds_per_sec\": {{\"pooled\": {:.1}, \"spawn\": {:.1}}},",
+        dispatch.pooled_rounds_per_sec, dispatch.spawn_rounds_per_sec
+    );
+    let _ = writeln!(out, "    \"speedup\": {:.3},", dispatch.speedup);
+    let _ = writeln!(out, "    \"asserted\": {asserted}");
     out.push_str("  }\n}\n");
     out
 }
@@ -708,7 +812,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = fedft_tensor::pool::hardware_threads();
     println!("scaling smoke on {cores} core(s): {CLIENTS} clients, {ROUNDS} rounds");
 
     let (fed, model) = match setup() {
@@ -893,7 +997,35 @@ fn main() -> ExitCode {
         }
     };
 
-    let json = render_json(cores, &measurements, asserted, &pool, &stream, &contention);
+    // Pool dispatch contrast: pooled wake-ups vs fresh spawns at round
+    // granularity — the executor-level saving the worker pool exists for.
+    println!(
+        "pool dispatch: {DISPATCH_ROUNDS} fan-outs x {} chunks, pooled vs scoped spawns",
+        cores.clamp(2, 8)
+    );
+    let dispatch = match run_pool_dispatch(cores, asserted) {
+        Ok(report) => {
+            println!(
+                "  pooled {:.0} rounds/sec vs spawn {:.0} rounds/sec  ({:.2}x)",
+                report.pooled_rounds_per_sec, report.spawn_rounds_per_sec, report.speedup
+            );
+            report
+        }
+        Err(e) => {
+            eprintln!("scaling_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = render_json(
+        cores,
+        &measurements,
+        asserted,
+        &pool,
+        &stream,
+        &contention,
+        &dispatch,
+    );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("scaling_smoke: cannot write `{out_path}`: {e}");
         return ExitCode::from(2);

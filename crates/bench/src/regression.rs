@@ -481,11 +481,15 @@ mod tests {
         .expect("committed baseline readable");
         let base = baseline_min_ns(&doc).unwrap();
         assert!(base.contains_key("matmul_512x512x512"));
-        // The batched-GEMM entries must stay in the baseline: a fresh run
-        // that silently drops them would otherwise pass as `NewBench`.
+        // The batched-GEMM and worker-pool entries must stay in the
+        // baseline: a fresh run that silently drops them would otherwise
+        // pass as `NewBench`.
         assert!(base.contains_key("suffix_round_batch_32_clients_50_samples"));
         assert!(base.contains_key("matmul_batch_shared_b_32x_50x64x64"));
-        assert!(base.len() >= 14);
+        assert!(base.contains_key("pool_dispatch_noop_2_workers"));
+        assert!(base.contains_key("scoped_spawn_noop_8_workers"));
+        assert!(base.contains_key("aggregate_200_clients_10k_params"));
+        assert!(base.len() >= 21);
         assert!(base.values().all(|&ns| ns > 0.0));
     }
 

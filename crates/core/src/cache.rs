@@ -428,12 +428,13 @@ impl CacheRegistry {
 
     /// The shard count a run-wide registry gets when
     /// [`crate::FlConfig::cache_shards`] is left on auto: the host's
-    /// available parallelism rounded up to the next power of two, clamped
-    /// to at most 64 (beyond the core count extra shards only spread the
-    /// hash, they cannot reduce lock contention further).
+    /// hardware thread count ([`fedft_tensor::pool::hardware_threads`],
+    /// the same figure the worker pool is sized from) rounded up to the
+    /// next power of two, clamped to at most 64 (beyond the core count
+    /// extra shards only spread the hash, they cannot reduce lock
+    /// contention further).
     pub fn auto_shard_count() -> usize {
-        std::thread::available_parallelism()
-            .map_or(1, std::num::NonZeroUsize::get)
+        fedft_tensor::pool::hardware_threads()
             .next_power_of_two()
             .min(64)
     }

@@ -135,6 +135,13 @@ pub struct FlConfig {
     /// buffered flushes (and reduces to `Sequential` under its degenerate
     /// parameters — see [`crate::executor::StreamingExecutor`]).
     pub execution: ExecutionBackend,
+    /// Cap on the worker threads the round executor dispatches per round
+    /// through the persistent pool ([`fedft_tensor::pool`]). `None` (the
+    /// default) uses every hardware thread. The cap changes scheduling
+    /// only, never results: chunk boundaries are deterministic in the
+    /// worker count and every backend is bit-identical at any cap.
+    /// Ignored by [`ExecutionBackend::Sequential`]. Must be non-zero.
+    pub worker_threads: Option<usize>,
 }
 
 impl Default for FlConfig {
@@ -158,6 +165,7 @@ impl Default for FlConfig {
             logical_clients: None,
             seed: 0,
             execution: ExecutionBackend::Parallel,
+            worker_threads: None,
         }
     }
 }
@@ -283,6 +291,12 @@ impl FlConfig {
         self
     }
 
+    /// Caps the worker threads dispatched per round (must be non-zero).
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = Some(n);
+        self
+    }
+
     /// Validates the configuration, one concern at a time.
     ///
     /// # Errors
@@ -291,8 +305,9 @@ impl FlConfig {
     /// a participation fraction outside `(0, 1]`, an invalid optimiser
     /// configuration, an invalid selection strategy, a non-positive FedProx
     /// μ, invalid execution knobs (non-positive deadline, bad streaming
-    /// parameters, or a finite deadline combined with the async or streaming
-    /// backend — those replace deadline drops with their own scheduling), or
+    /// parameters, a zero worker-thread cap, or a finite deadline combined
+    /// with the async or streaming backend — those replace deadline drops
+    /// with their own scheduling), or
     /// invalid cache/pool knobs (zero logical clients, a zero byte budget,
     /// a non-power-of-two shard count, or a budget or shard count under
     /// [`CacheScope::PerClient`]).
@@ -393,6 +408,13 @@ impl FlConfig {
             }
             params.validate()?;
         }
+        if self.worker_threads == Some(0) {
+            return Err(FlError::InvalidConfig {
+                what: "worker_threads must be non-zero when set \
+                       (use the sequential backend to disable parallelism)"
+                    .into(),
+            });
+        }
         Ok(())
     }
 
@@ -472,6 +494,19 @@ mod tests {
         assert!(c.validate().is_ok());
         let p = FlConfig::default().with_execution(ExecutionBackend::Parallel);
         assert_eq!(p.execution, ExecutionBackend::Parallel);
+    }
+
+    #[test]
+    fn worker_threads_knob_defaults_to_auto_and_rejects_zero() {
+        let c = FlConfig::default();
+        assert_eq!(c.worker_threads, None);
+        let capped = FlConfig::default().with_worker_threads(4);
+        assert_eq!(capped.worker_threads, Some(4));
+        assert!(capped.validate().is_ok());
+        assert!(FlConfig::default()
+            .with_worker_threads(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -161,15 +161,27 @@ impl ExecutionBackend {
     /// scheduling backends (`Deadline`, `Async`, `Streaming`) train their
     /// survivors through a [`ParallelExecutor`].
     pub fn executor(&self) -> Box<dyn RoundExecutor> {
+        self.executor_with_workers(None)
+    }
+
+    /// [`ExecutionBackend::executor`] with an optional worker cap (the
+    /// [`crate::FlConfig::with_worker_threads`] knob). `None` uses every
+    /// hardware thread; the cap only affects backends that train through a
+    /// [`ParallelExecutor`] — `Sequential` ignores it by construction.
+    pub fn executor_with_workers(&self, worker_threads: Option<usize>) -> Box<dyn RoundExecutor> {
+        let parallel = || match worker_threads {
+            Some(threads) => ParallelExecutor::with_max_threads(threads),
+            None => ParallelExecutor::new(),
+        };
         match self {
             ExecutionBackend::Sequential => Box::new(SequentialExecutor),
-            ExecutionBackend::Parallel => Box::new(ParallelExecutor::new()),
-            ExecutionBackend::Deadline => Box::new(DeadlineExecutor::over(ParallelExecutor::new())),
+            ExecutionBackend::Parallel => Box::new(parallel()),
+            ExecutionBackend::Deadline => Box::new(DeadlineExecutor::over(parallel())),
             ExecutionBackend::Async { max_staleness } => {
-                Box::new(AsyncExecutor::over(*max_staleness, ParallelExecutor::new()))
+                Box::new(AsyncExecutor::over(*max_staleness, parallel()))
             }
             ExecutionBackend::Streaming(params) => {
-                Box::new(StreamingExecutor::over(*params, ParallelExecutor::new()))
+                Box::new(StreamingExecutor::over(*params, parallel()))
             }
         }
     }
@@ -451,12 +463,15 @@ impl RoundExecutor for SequentialExecutor {
     }
 }
 
-/// Trains clients concurrently on scoped OS threads.
+/// Trains clients concurrently on the persistent worker pool
+/// ([`fedft_tensor::pool`]).
 ///
-/// Participants are split into contiguous chunks, one per worker; each chunk
-/// is processed in order on its thread and the per-chunk results are
-/// concatenated in chunk order, so the returned updates are in participant
-/// order — identical to [`SequentialExecutor`] output.
+/// Participants are split into contiguous chunks, one per worker — the
+/// boundaries depend only on the requested worker count, never on pool
+/// occupancy — and the per-chunk results are concatenated in chunk order,
+/// so the returned updates are in participant order — identical to
+/// [`SequentialExecutor`] output. Dispatching a round wakes parked workers
+/// instead of paying a `thread::scope` spawn per chunk.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelExecutor {
     /// Optional cap on worker threads; `None` uses all available cores.
@@ -485,11 +500,9 @@ impl ParallelExecutor {
         // An explicit cap is honoured verbatim (not clamped to the core
         // count): it is a request, and it keeps the multi-threaded path
         // exercisable on single-core hosts.
-        let workers = self.max_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
+        let workers = self
+            .max_threads
+            .unwrap_or_else(fedft_tensor::pool::hardware_threads);
         workers.min(participants)
     }
 }
@@ -514,28 +527,21 @@ impl RoundExecutor for ParallelExecutor {
             return SequentialExecutor.run_round(participants, global_model, config, round);
         }
 
-        let chunk_size = participants.len().div_ceil(workers);
-        let mut results: Vec<Result<Vec<ClientUpdate>>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for chunk in participants.chunks(chunk_size) {
-                handles.push(scope.spawn(move || {
-                    // Each worker owns one core; keep the tensor kernels
-                    // from spawning a second level of threads underneath.
-                    fedft_tensor::parallel::single_threaded(|| {
-                        chunk
-                            .iter()
-                            .map(|client| client.local_update(global_model, config, round))
-                            .collect::<Result<Vec<ClientUpdate>>>()
-                    })
-                }));
-            }
-            // Joining in spawn order keeps the concatenation in participant
-            // order no matter which thread finishes first.
-            for handle in handles {
-                results.push(handle.join().expect("client update thread panicked"));
-            }
-        });
+        // One pool chunk per worker; `run_chunks` splits with the same
+        // `div_ceil` boundaries the old scoped-spawn path used and returns
+        // results in chunk order, so the concatenation below is in
+        // participant order no matter which thread ran which chunk.
+        let results: Vec<Result<Vec<ClientUpdate>>> =
+            fedft_tensor::pool::run_chunks(participants.len(), workers, |range| {
+                // Each worker owns one core; keep the tensor kernels from
+                // fanning out a second level of pool jobs underneath.
+                fedft_tensor::parallel::single_threaded(|| {
+                    participants[range]
+                        .iter()
+                        .map(|client| client.local_update(global_model, config, round))
+                        .collect::<Result<Vec<ClientUpdate>>>()
+                })
+            });
         let mut updates = Vec::with_capacity(participants.len());
         for chunk in results {
             updates.extend(chunk?);

@@ -11,6 +11,11 @@ use fedft_nn::ParamVector;
 /// uploaded `θ_k^{t+1}` with weights proportional to the number of *selected*
 /// samples `|D_{k,select}^t|` (not the full local dataset size), normalised
 /// over the participating clients.
+///
+/// Large cohorts accumulate on the persistent worker pool — see
+/// [`ParamVector::weighted_average_refs`] for the element-partitioning
+/// scheme that keeps the pooled average bit-identical to the sequential
+/// one at any worker count.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Server {
     _private: (),

@@ -212,7 +212,10 @@ impl Simulation {
         let clients = pool.clients();
         let participation = ParticipationModel::new(self.config.participation)?;
         let server = Server::new();
-        let executor = self.config.execution.executor();
+        let executor = self
+            .config
+            .execution
+            .executor_with_workers(self.config.worker_threads);
 
         let mut global_model = initial_model.clone();
         let mut rounds = Vec::with_capacity(self.config.rounds);

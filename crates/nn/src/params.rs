@@ -141,6 +141,13 @@ impl ParamVector {
     /// operation. Both entry points lower to the same accumulation loop in
     /// the same order, so their results are bit-identical.
     ///
+    /// Large cohorts (entry count × parameter count ≥ 2²⁰) accumulate on
+    /// the persistent worker pool ([`fedft_tensor::pool`]): the *output
+    /// elements* are split into contiguous ranges and every worker walks
+    /// the full entry list in order over its range, so each element sees
+    /// exactly the same `+=` sequence as the sequential loop and the result
+    /// stays bit-identical at any worker count.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::InvalidConfig`] for an empty input and
@@ -152,14 +159,39 @@ impl ParamVector {
             });
         };
         let len = first.len();
-        let mut out = vec![0.0_f32; len];
-        for &(vector, weight) in entries {
+        for &(vector, _) in entries {
             if vector.len() != len {
                 return Err(NnError::ParamLengthMismatch {
                     expected: len,
                     found: vector.len(),
                 });
             }
+        }
+
+        // Below this much accumulation work the pool wake costs more than
+        // the loop; 200 clients × a 10k-parameter head clears it easily.
+        const PARALLEL_WORK_THRESHOLD: usize = 1 << 20;
+        let workers = fedft_tensor::pool::hardware_threads().min(len);
+        if entries.len().saturating_mul(len) >= PARALLEL_WORK_THRESHOLD && workers > 1 {
+            let parts = fedft_tensor::pool::run_chunks(len, workers, |range| {
+                let mut part = vec![0.0_f32; range.len()];
+                for &(vector, weight) in entries {
+                    let values = &vector.values[range.clone()];
+                    for (o, &v) in part.iter_mut().zip(values.iter()) {
+                        *o += weight * v;
+                    }
+                }
+                part
+            });
+            let mut out = Vec::with_capacity(len);
+            for part in parts {
+                out.extend(part);
+            }
+            return Ok(ParamVector { values: out });
+        }
+
+        let mut out = vec![0.0_f32; len];
+        for &(vector, weight) in entries {
             for (o, &v) in out.iter_mut().zip(vector.values.iter()) {
                 *o += weight * v;
             }
@@ -268,6 +300,39 @@ mod tests {
         let b = ParamVector::weighted_average_refs(&refs).unwrap();
         let bits = |v: &ParamVector| v.values().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn weighted_average_pooled_path_is_bit_identical_to_sequential() {
+        // 128 entries × 16 384 parameters = 2²¹ accumulation steps — over
+        // the pool threshold, so this exercises the element-partitioned
+        // path against a reference built with the sequential loop shape.
+        let len = 16_384_usize;
+        let vectors: Vec<ParamVector> = (0..128)
+            .map(|i| {
+                ParamVector::from_values(
+                    (0..len)
+                        .map(|j| ((i * len + j) as f32 * 0.001).sin())
+                        .collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<(&ParamVector, f32)> = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v, 1.0 / (i + 1) as f32))
+            .collect();
+
+        let mut expected = vec![0.0_f32; len];
+        for &(vector, weight) in &refs {
+            for (o, &v) in expected.iter_mut().zip(vector.values().iter()) {
+                *o += weight * v;
+            }
+        }
+        let pooled = ParamVector::weighted_average_refs(&refs).unwrap();
+        let expected_bits: Vec<u32> = expected.iter().map(|x| x.to_bits()).collect();
+        let pooled_bits: Vec<u32> = pooled.values().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(expected_bits, pooled_bits);
     }
 
     #[test]

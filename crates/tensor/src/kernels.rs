@@ -20,8 +20,14 @@
 //! only at the last-ulp level — and are slightly *more* accurate.
 //!
 //! Threading: on multi-core hosts, products above [`PARALLEL_FLOP_THRESHOLD`]
-//! multiply-adds split the output rows across scoped OS threads. Each thread
-//! owns a disjoint `&mut` chunk of the output buffer — no locks, no unsafe.
+//! multiply-adds split the output rows across the persistent worker pool
+//! ([`crate::pool`]) — parked threads woken per job instead of a fresh
+//! spawn per product. Each chunk owns a disjoint `&mut` slice of the output
+//! buffer, handed off through a once-claimable slot, and chunk boundaries
+//! depend only on the requested worker count, so results are byte-identical
+//! at any pool size.
+
+use std::sync::Mutex;
 
 /// Rows per register block. Tuned empirically on the AVX-512 host this
 /// repo is benchmarked on: 8×16 accumulators occupy sixteen 256-bit
@@ -33,8 +39,13 @@ const MR: usize = 8;
 const NR: usize = 16;
 
 /// Minimum multiply-add count before the row-parallel path is worth the
-/// thread spawn cost (~10 µs per thread on Linux).
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
+/// dispatch overhead. Historically set against the ~10 µs/thread cost of a
+/// fresh `thread::scope` spawn; the pooled wake is far cheaper, but the
+/// threshold also guards the cache-sharing cost of splitting a product that
+/// one core's private caches could serve, so it stays. Shared with the
+/// batch entry in `packed.rs`, which gates its per-item fan-out on the
+/// batch's *total* multiply-adds.
+pub(crate) const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
 
 /// One multiply-accumulate step.
 ///
@@ -96,18 +107,34 @@ pub(crate) fn gemm_nn_direct(m: usize, k: usize, n: usize, a: &[f32], b: &[f32],
         return;
     }
 
-    // Split output rows into contiguous per-thread chunks (multiples of the
-    // register block so only the last chunk carries a remainder block).
-    let rows_per_thread = m.div_ceil(threads).next_multiple_of(MR);
-    std::thread::scope(|scope| {
-        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_thread * n).enumerate() {
-            let row0 = chunk_idx * rows_per_thread;
+    // Split output rows into contiguous per-worker chunks (multiples of the
+    // register block so only the last chunk carries a remainder block) and
+    // dispatch them on the persistent pool. Each chunk's disjoint operand
+    // and output slices sit in a once-claimable slot; the slot index is the
+    // chunk's row range divided by the (identical) pool chunk length.
+    let chunk_rows = crate::pool::aligned_chunk_len(m, threads, MR);
+    let slots: Vec<ChunkSlot> = out
+        .chunks_mut(chunk_rows * n)
+        .enumerate()
+        .map(|(chunk_idx, out_chunk)| {
+            let row0 = chunk_idx * chunk_rows;
             let rows = out_chunk.len() / n;
-            let a_chunk = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || gemm_rows(k, n, a_chunk, b, out_chunk));
-        }
+            Mutex::new(Some((&a[row0 * k..(row0 + rows) * k], out_chunk)))
+        })
+        .collect();
+    crate::pool::run_aligned_chunks(m, threads, MR, |rows| {
+        let (a_chunk, out_chunk) = slots[rows.start / chunk_rows]
+            .lock()
+            .expect("row chunk slot lock")
+            .take()
+            .expect("each row chunk is claimed exactly once");
+        gemm_rows(k, n, a_chunk, b, out_chunk);
     });
 }
+
+/// A once-claimable `(A rows, C rows)` slice pair for one pool chunk of a
+/// row-partitioned product.
+type ChunkSlot<'a> = Mutex<Option<(&'a [f32], &'a mut [f32])>>;
 
 /// Decides the worker count for a product of the given shape.
 fn max_threads(m: usize, k: usize, n: usize) -> usize {
@@ -119,10 +146,7 @@ fn max_threads(m: usize, k: usize, n: usize) -> usize {
     if flops < PARALLEL_FLOP_THRESHOLD {
         return 1;
     }
-    let hw = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(m.div_ceil(MR))
+    crate::pool::hardware_threads().min(m.div_ceil(MR))
 }
 
 /// Sequential GEMM over a row slice of the output: `a` holds `rows × k`

@@ -14,6 +14,10 @@
 //!   argmax, accuracy and summary statistics.
 //! * [`rng`] — seed-derivation helpers so that every component of the
 //!   simulation can own an independent but reproducible random stream.
+//! * [`pool`] — the process-wide persistent worker pool every parallel hot
+//!   path (kernel row splits, round executors, aggregation) dispatches
+//!   through, with deterministic chunk boundaries so parallelism never
+//!   changes results.
 //!
 //! Everything is deterministic given a seed, which the rest of the workspace
 //! relies on for reproducible federated-learning simulations.
@@ -32,7 +36,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's job hand-off to parked
+// threads needs a scoped lifetime erasure (the same one every scoped-thread
+// library performs) and carries a module-local allowance with a documented
+// soundness argument — see `pool.rs`. Every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -43,6 +51,7 @@ mod packed;
 pub mod cache;
 pub mod init;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

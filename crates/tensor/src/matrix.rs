@@ -333,9 +333,9 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`, computed with the cache-blocked,
-    /// register-tiled kernel in `kernels.rs` (row-parallel on
-    /// multi-core hosts for large shapes; results are identical for any
-    /// thread count).
+    /// register-tiled kernel in `kernels.rs` (large shapes split their row
+    /// panels across the persistent worker pool on multi-core hosts;
+    /// results are identical for any worker count).
     ///
     /// # Errors
     ///
@@ -369,7 +369,9 @@ impl Matrix {
     /// the packing cost that a per-call `matmul` at these (typically small)
     /// shapes cannot recover. This is the per-round suffix shape of the
     /// federated workload: every client applies the same global layer
-    /// weights to its own activations.
+    /// weights to its own activations. Large batches additionally fan the
+    /// items out across the persistent worker pool over the shared packed
+    /// panels.
     ///
     /// Each result is byte-identical to `batch[i].matmul(self)` — both paths
     /// accumulate every output element in strictly ascending `k` order.

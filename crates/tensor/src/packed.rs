@@ -35,13 +35,18 @@
 //! # Scratch reuse
 //!
 //! Packing buffers are thread-local and grow-only, so steady-state calls on
-//! the hot path allocate nothing. Worker threads spawned for very large
-//! products allocate their own `A` scratch once per spawn — that path
-//! already pays a thread-spawn per call and only triggers above the packed
-//! dispatch threshold on multi-core hosts.
+//! the hot path allocate nothing — on *every* thread. The packed `B` buffer
+//! lives in this module's thread-local (only the dispatching thread packs
+//! `B`; workers read it shared). The `A`-packing scratch is each thread's
+//! [`crate::pool::with_scratch`] arena: pool workers are persistent, so the
+//! arena a worker grew for one product is still allocated for the next —
+//! the threaded path no longer allocates per dispatch the way the old
+//! spawn-per-call path allocated per spawn.
 
 use crate::cache;
+use crate::pool;
 use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Rows per packed micro-tile. 12×32 holds twenty-four 512-bit accumulators
 /// (12 rows × two lanes) plus the two `B` vectors and one broadcast — 27 of
@@ -74,9 +79,16 @@ pub(crate) const NR_B: usize = 64;
 pub(crate) const PACKED_FLOP_THRESHOLD: usize = 1 << 24;
 
 thread_local! {
-    /// Grow-only packing scratch: `(packed A, packed B)`.
-    static SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Grow-only packed-`B` scratch of the dispatching thread. Kept apart
+    /// from the pool's `A` arena so a dispatcher can hold its `B` buffer
+    /// borrowed across a pool fan-out while every executing thread
+    /// (including the dispatcher itself) borrows its own `A` arena.
+    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
+
+/// A once-claimable `(rows, A slice, C slice)` slot for one pool chunk or
+/// batch item of a row-partitioned product.
+type PackedSlot<'a> = Mutex<Option<(&'a [f32], &'a mut [f32])>>;
 
 /// Resizes a grow-only scratch buffer. Contents are overwritten by packing
 /// before use, so no zeroing happens here.
@@ -365,7 +377,10 @@ fn pack_b_full<const NR: usize>(b: &[f32], k: usize, n: usize, out: &mut [f32]) 
 /// Packed GEMM entry: `out += A·B` for zero-initialised `out`, split across
 /// `threads` workers by disjoint contiguous row ranges (multiples of `MR_P`
 /// so only the last range carries a partial panel). `B` is packed once by
-/// the calling thread and shared read-only.
+/// the calling thread and shared read-only; the row chunks run on the
+/// persistent pool ([`crate::pool`]), each executing thread packing its `A`
+/// rows into its own persistent arena — no per-dispatch allocation, unlike
+/// the spawn-per-call path this replaced.
 pub(crate) fn gemm_packed(
     m: usize,
     k: usize,
@@ -375,36 +390,36 @@ pub(crate) fn gemm_packed(
     out: &mut [f32],
     threads: usize,
 ) {
-    SCRATCH.with(|cell| {
-        let (a_scratch, b_scratch) = &mut *cell.borrow_mut();
+    B_SCRATCH.with(|cell| {
+        let b_scratch = &mut *cell.borrow_mut();
         ensure_len(b_scratch, packed_b_len::<NR_P>(k, n));
         pack_b_full::<NR_P>(b, k, n, b_scratch);
         let b_pack: &[f32] = b_scratch;
         if threads <= 1 {
-            gemm_rows_packed::<MR_P, NR_P>(k, n, a, b_pack, out, a_scratch);
+            pool::with_scratch(|a_scratch| {
+                gemm_rows_packed::<MR_P, NR_P>(k, n, a, b_pack, out, a_scratch);
+            });
             return;
         }
-        let rows_per_thread = m.div_ceil(threads).next_multiple_of(MR_P);
-        std::thread::scope(|scope| {
-            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_thread * n).enumerate() {
-                let row0 = chunk_idx * rows_per_thread;
+        let chunk_rows = pool::aligned_chunk_len(m, threads, MR_P);
+        let slots: Vec<PackedSlot> = out
+            .chunks_mut(chunk_rows * n)
+            .enumerate()
+            .map(|(chunk_idx, out_chunk)| {
+                let row0 = chunk_idx * chunk_rows;
                 let rows = out_chunk.len() / n;
-                let a_chunk = &a[row0 * k..(row0 + rows) * k];
-                scope.spawn(move || {
-                    // Fresh spawn, fresh scratch: this path only triggers for
-                    // very large products where the spawn cost already
-                    // dominates the allocation.
-                    let mut a_scratch = Vec::new();
-                    gemm_rows_packed::<MR_P, NR_P>(
-                        k,
-                        n,
-                        a_chunk,
-                        b_pack,
-                        out_chunk,
-                        &mut a_scratch,
-                    );
-                });
-            }
+                Mutex::new(Some((&a[row0 * k..(row0 + rows) * k], out_chunk)))
+            })
+            .collect();
+        pool::run_aligned_chunks(m, threads, MR_P, |rows| {
+            let (a_chunk, out_chunk) = slots[rows.start / chunk_rows]
+                .lock()
+                .expect("row chunk slot lock")
+                .take()
+                .expect("each row chunk is claimed exactly once");
+            pool::with_scratch(|a_scratch| {
+                gemm_rows_packed::<MR_P, NR_P>(k, n, a_chunk, b_pack, out_chunk, a_scratch);
+            });
         });
     });
 }
@@ -420,6 +435,13 @@ pub(crate) fn gemm_packed(
 /// activations) varies. Packing cost is amortised `batch`-fold, which is
 /// where the win over per-call dispatch lives — the per-item products are
 /// usually far below [`PACKED_FLOP_THRESHOLD`].
+///
+/// When the batch's *total* multiply-add count crosses the parallel
+/// threshold, the items fan out per-item over the persistent pool
+/// ([`crate::pool`]): the packed `B` is shared read-only, each item is
+/// computed whole by exactly one thread (into that thread's persistent `A`
+/// arena), and item order within the output is fixed by the slot layout —
+/// so the fan-out cannot change a bit of any result.
 ///
 /// Per-element accumulation order is ascending-`k`, the same as every other
 /// path, so each `outs[i]` is byte-identical to `matmul` on the same pair.
@@ -449,15 +471,50 @@ pub(crate) fn gemm_batch_shared_b(
         }
         return;
     }
-    SCRATCH.with(|cell| {
-        let (a_scratch, b_scratch) = &mut *cell.borrow_mut();
+    let total_flops: usize = batch
+        .iter()
+        .map(|(m, ..)| m.saturating_mul(k).saturating_mul(n))
+        .fold(0usize, usize::saturating_add);
+    B_SCRATCH.with(|cell| {
+        let b_scratch = &mut *cell.borrow_mut();
         ensure_len(b_scratch, packed_b_len::<NR_B>(k, n));
         pack_b_full::<NR_B>(b, k, n, b_scratch);
-        for (m, a_rows, out) in batch.iter_mut() {
-            debug_assert_eq!(a_rows.len(), *m * k);
-            debug_assert_eq!(out.len(), *m * n);
-            gemm_rows_packed::<MR_B, NR_B>(k, n, a_rows, b_scratch, out, a_scratch);
+        let b_pack: &[f32] = b_scratch;
+        if batch.len() >= 2 && total_flops >= crate::kernels::PARALLEL_FLOP_THRESHOLD {
+            // Per-item fan-out over the shared packed B. `run_chunks`
+            // itself falls back to an in-order inline loop when the pool
+            // is unavailable (single core, single_threaded scope, nested
+            // job), which is exactly the sequential path below.
+            let slots: Vec<PackedSlot> = batch
+                .iter_mut()
+                .map(|(m, a_rows, out)| {
+                    debug_assert_eq!(a_rows.len(), *m * k);
+                    debug_assert_eq!(out.len(), *m * n);
+                    Mutex::new(Some((*a_rows, &mut **out)))
+                })
+                .collect();
+            let workers = pool::hardware_threads().min(slots.len());
+            pool::run_chunks(slots.len(), workers, |items| {
+                for index in items {
+                    let (a_rows, out) = slots[index]
+                        .lock()
+                        .expect("batch item slot lock")
+                        .take()
+                        .expect("each batch item is claimed exactly once");
+                    pool::with_scratch(|a_scratch| {
+                        gemm_rows_packed::<MR_B, NR_B>(k, n, a_rows, b_pack, out, a_scratch);
+                    });
+                }
+            });
+            return;
         }
+        pool::with_scratch(|a_scratch| {
+            for (m, a_rows, out) in batch.iter_mut() {
+                debug_assert_eq!(a_rows.len(), *m * k);
+                debug_assert_eq!(out.len(), *m * n);
+                gemm_rows_packed::<MR_B, NR_B>(k, n, a_rows, b_pack, out, a_scratch);
+            }
+        });
     });
 }
 
@@ -660,15 +717,11 @@ mod tests {
         let a = pattern(m * k, 11);
         let b = pattern(k * n, 12);
         let first = run_packed(m, k, n, &a, &b, 1);
-        let (cap_a, cap_b) = SCRATCH.with(|c| {
-            let s = c.borrow();
-            (s.0.capacity(), s.1.capacity())
-        });
+        let cap_a = pool::with_scratch(|buf| buf.capacity());
+        let cap_b = B_SCRATCH.with(|c| c.borrow().capacity());
         let again = run_packed(m, k, n, &a, &b, 1);
-        let (cap_a2, cap_b2) = SCRATCH.with(|c| {
-            let s = c.borrow();
-            (s.0.capacity(), s.1.capacity())
-        });
+        let cap_a2 = pool::with_scratch(|buf| buf.capacity());
+        let cap_b2 = B_SCRATCH.with(|c| c.borrow().capacity());
         assert_eq!(first, again);
         assert_eq!(cap_a, cap_a2);
         assert_eq!(cap_b, cap_b2);

@@ -1,13 +1,15 @@
 //! Coordination between the crate's internal parallelism and callers that
 //! already parallelise above it.
 //!
-//! The blocked matmul kernels split large products across OS threads. When a
-//! caller (e.g. `fedft-core`'s parallel round executor) is already running
-//! one task per core, letting every task spawn its own kernel threads would
-//! oversubscribe the machine quadratically. Callers mark their worker
-//! threads with [`single_threaded`], and the kernels stay sequential inside
-//! such a scope. Results are unaffected either way — the kernels are
-//! deterministic for any thread count.
+//! The blocked matmul kernels split large products across the persistent
+//! worker pool ([`crate::pool`]). When a caller (e.g. `fedft-core`'s
+//! parallel round executor) is already running one task per core, letting
+//! every task fan out its own kernel chunks would oversubscribe the machine
+//! quadratically. Callers mark their worker tasks with [`single_threaded`],
+//! and both the kernels' thread-count decision and the pool's dispatcher
+//! ([`crate::pool::run_chunks`]) stay sequential inside such a scope.
+//! Results are unaffected either way — the kernels are deterministic for
+//! any thread count.
 
 use std::cell::Cell;
 

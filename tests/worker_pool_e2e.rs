@@ -1,0 +1,125 @@
+//! End-to-end contract of the persistent worker pool: the worker-thread cap
+//! is pure scheduling plumbing, so it must never change results. Chunk
+//! boundaries are deterministic in the requested worker count and every
+//! parallel hot path (round executor, GEMM row panels, pooled aggregation)
+//! returns results in chunk order, so the learning history is bit-identical
+//! across worker counts — including `1`, where the parallel executor
+//! degrades to the sequential one — under all five execution backends.
+
+use fedft::core::{
+    ExecutionBackend, FlConfig, RunResult, SelectionStrategy, Simulation, StreamingParams,
+};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig};
+
+const SHARDS: usize = 6;
+
+fn setup() -> (FederatedDataset, BlockNet) {
+    let bundle = domains::cifar10_like()
+        .with_samples_per_class(12)
+        .with_test_samples_per_class(4)
+        .generate(5)
+        .unwrap();
+    let fed = FederatedDataset::partition(
+        &bundle.train,
+        bundle.test.clone(),
+        SHARDS,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        7,
+    )
+    .unwrap();
+    let model_cfg = BlockNetConfig::new(bundle.train.feature_dim(), 10).with_hidden(16, 16, 16);
+    (fed, BlockNet::new(&model_cfg, 3))
+}
+
+fn pool_config() -> FlConfig {
+    FlConfig::default()
+        .with_rounds(3)
+        .with_local_epochs(1)
+        .with_batch_size(16)
+        .with_participation(1.0)
+        .with_selection(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1,
+        })
+}
+
+fn run(label: &str, config: FlConfig, fed: &FederatedDataset, model: &BlockNet) -> RunResult {
+    Simulation::new(config)
+        .unwrap()
+        .run_labelled(label, fed, model)
+        .unwrap()
+}
+
+#[test]
+fn worker_cap_never_changes_the_history_across_all_five_backends() {
+    // The five backends schedule client updates very differently (straight
+    // chunks, simulated deadlines, bounded staleness, buffered flushes) —
+    // under every one of them the pooled run must be byte-identical to the
+    // sequential reference at every worker cap.
+    let (fed, model) = setup();
+    let sequential = run(
+        "sequential",
+        pool_config().with_execution(ExecutionBackend::Sequential),
+        &fed,
+        &model,
+    );
+    let backends: [(&str, ExecutionBackend); 5] = [
+        ("sequential", ExecutionBackend::Sequential),
+        ("parallel", ExecutionBackend::Parallel),
+        ("deadline", ExecutionBackend::Deadline),
+        ("async", ExecutionBackend::Async { max_staleness: 0 }),
+        (
+            "streaming",
+            ExecutionBackend::Streaming(StreamingParams::new(SHARDS)),
+        ),
+    ];
+    for (name, backend) in backends {
+        let base = pool_config().with_execution(backend);
+        // `None` sizes the dispatch from the hardware thread count; explicit
+        // caps pin it. All must match the backend's own auto run AND each
+        // other — the cap is scheduling noise by construction.
+        let auto = run(name, base.clone(), &fed, &model);
+        for workers in [1_usize, 2, 8] {
+            let capped = run(
+                name,
+                base.clone().with_worker_threads(workers),
+                &fed,
+                &model,
+            );
+            assert_eq!(
+                auto.learning_history(),
+                capped.learning_history(),
+                "{name} history diverged at a cap of {workers} workers"
+            );
+        }
+        // These four backends train every client of every round (staleness 0
+        // and a cohort-sized buffer reduce async/streaming to synchronous
+        // rounds; the uniform heterogeneity default never drops a deadline
+        // client), so each must also reproduce the sequential history.
+        assert_eq!(
+            sequential.learning_history(),
+            auto.learning_history(),
+            "{name} diverged from the sequential reference"
+        );
+    }
+}
+
+#[test]
+fn oversized_caps_and_tiny_cohorts_stay_identical() {
+    // More workers than participants: the executor clamps to the cohort
+    // size, the pool to its chunk count — nothing in between may change
+    // results or hang.
+    let (fed, model) = setup();
+    let reference = run("reference", pool_config().serial(), &fed, &model);
+    let oversized = run(
+        "oversized",
+        pool_config()
+            .with_execution(ExecutionBackend::Parallel)
+            .with_worker_threads(64),
+        &fed,
+        &model,
+    );
+    assert_eq!(reference.learning_history(), oversized.learning_history());
+}
