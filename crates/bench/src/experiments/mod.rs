@@ -9,10 +9,12 @@
 //! | [`table3`] | Table III + Figures 7–9 — 100-client straggler scenario |
 //! | [`table4`] | Table IV — cross-domain (speech) evaluation |
 //! | [`ablation`] | Figure 10 — fine-tuned part, heterogeneity and temperature ablations |
+//! | [`policy_matrix`] | Policy layer — policy × heterogeneity mix × backend grid (not in the paper) |
 
 pub mod ablation;
 pub mod cka_fig;
 pub mod entropy_fig;
+pub mod policy_matrix;
 pub mod table1;
 pub mod table2;
 pub mod table3;

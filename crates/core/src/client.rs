@@ -2,8 +2,7 @@
 
 use crate::cache::FeatureCache;
 use crate::config::{FlConfig, LocalAlgorithm};
-use crate::entropy::sample_entropies_from_boundary;
-use crate::selection::SelectionStrategy;
+use crate::policy::SelectionContext;
 use crate::{FlError, Result};
 use fedft_data::Dataset;
 use fedft_nn::{BlockNet, ParamVector, ProximalTerm, Sgd};
@@ -124,7 +123,7 @@ impl Client {
         config: &FlConfig,
         round: usize,
     ) -> Result<ClientUpdate> {
-        let freeze = config.freeze;
+        let freeze = config.freeze_for_client(self.id);
         if self.data.is_empty() {
             return Err(FlError::InvalidConfig {
                 what: format!("client {} has no local data to select from", self.id),
@@ -146,30 +145,45 @@ impl Client {
         // backbone ϕ stays shared behind `global_model`.
         let mut suffix = global_model.trainable_suffix(freeze);
 
-        // --- Data selection (Equations 2-3, hardened softmax Equation 6).
-        let selected_indices = match config.selection {
-            SelectionStrategy::Entropy { temperature, .. } => {
-                let entropies = match &cached_boundary {
-                    Some(boundary) => {
-                        sample_entropies_from_boundary(&mut suffix, boundary, temperature)?
-                    }
-                    // No frozen prefix: the boundary is the raw features —
-                    // score them directly instead of copying the dataset.
-                    None if freeze.frozen_blocks() == 0 => sample_entropies_from_boundary(
-                        &mut suffix,
-                        self.data.features(),
-                        temperature,
-                    )?,
-                    None => {
-                        let boundary = global_model.forward_frozen(freeze, self.data.features())?;
-                        sample_entropies_from_boundary(&mut suffix, &boundary, temperature)?
-                    }
-                };
-                config.selection.select_from_entropies(&entropies)?
-            }
-            _ => config
-                .selection
-                .select(self.data.len(), round, self.id, config.seed)?,
+        // --- Data selection (Equations 2-3, hardened softmax Equation 6),
+        // through the pluggable policy layer. The context resolves boundary
+        // activations lazily: model-free policies (All/Random) never touch
+        // the model, score-based policies see either the cached boundary,
+        // the raw features (no frozen prefix), or a one-off frozen forward
+        // pass — the exact three paths the pre-policy dispatch took.
+        let selected_indices = {
+            let policy = config.selection.policy();
+            let mut ctx = match &cached_boundary {
+                Some(boundary) => SelectionContext::with_boundary(
+                    &mut suffix,
+                    boundary,
+                    self.data.labels(),
+                    round,
+                    self.id,
+                    config.seed,
+                ),
+                // No frozen prefix: the boundary is the raw features —
+                // score them directly instead of copying the dataset.
+                None if freeze.frozen_blocks() == 0 => SelectionContext::with_boundary(
+                    &mut suffix,
+                    self.data.features(),
+                    self.data.labels(),
+                    round,
+                    self.id,
+                    config.seed,
+                ),
+                None => SelectionContext::with_lazy_boundary(
+                    &mut suffix,
+                    global_model,
+                    freeze,
+                    self.data.features(),
+                    self.data.labels(),
+                    round,
+                    self.id,
+                    config.seed,
+                ),
+            };
+            policy.select(&mut ctx)?
         };
         let selected_labels: Vec<usize> = selected_indices
             .iter()

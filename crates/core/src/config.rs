@@ -3,6 +3,7 @@
 use crate::cache::CacheScope;
 use crate::device::HeterogeneityModel;
 use crate::executor::{ExecutionBackend, StreamingParams};
+use crate::policy::ClientSelection;
 use crate::selection::SelectionStrategy;
 use crate::{CostModel, FlError, Result};
 use fedft_nn::{FreezeLevel, SgdConfig};
@@ -58,6 +59,22 @@ pub struct FlConfig {
     /// (`fn` in the paper's straggler experiments). `1.0` means full
     /// participation.
     pub participation: f64,
+    /// How the participating subset is *chosen* when `participation < 1`:
+    /// uniformly (the default, bit-identical to the pre-policy behaviour on
+    /// the `"participation"` stream) or weighted by a
+    /// [`crate::policy::ClientSelectionPolicy`] on its own named stream.
+    pub client_selection: ClientSelection,
+    /// Optional per-tier freeze levels, indexed like
+    /// [`HeterogeneityModel::tiers`]: clients in tier `t` train at
+    /// `tier_freeze[t]` instead of the global [`FlConfig::freeze`], so slow
+    /// tiers can carry a smaller θ. Every entry must freeze **at least** as
+    /// many blocks as the global level — each tier's parameter vector is
+    /// then a suffix of the global θ, which is what makes mixed-freeze
+    /// aggregation ([`crate::Server::aggregate_mixed`]) well-defined. `None`
+    /// (the default) trains every tier at the global level. Rejected in
+    /// combination with the async/streaming backends, whose staleness
+    /// snapshots assume one uniform θ layout.
+    pub tier_freeze: Option<Vec<FreezeLevel>>,
     /// Cost model converting work to simulated client seconds.
     pub cost: CostModel,
     /// Device-heterogeneity model of the client population: tiers with
@@ -155,6 +172,8 @@ impl Default for FlConfig {
             selection: SelectionStrategy::All,
             algorithm: LocalAlgorithm::FedAvg,
             participation: 1.0,
+            client_selection: ClientSelection::Uniform,
+            tier_freeze: None,
             cost: CostModel::default(),
             heterogeneity: HeterogeneityModel::uniform(),
             deadline_seconds: f64::INFINITY,
@@ -198,6 +217,19 @@ impl FlConfig {
     /// Sets the selection strategy.
     pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
         self.selection = selection;
+        self
+    }
+
+    /// Sets the client-selection policy.
+    pub fn with_client_selection(mut self, client_selection: ClientSelection) -> Self {
+        self.client_selection = client_selection;
+        self
+    }
+
+    /// Maps each device tier to its own freeze level (indexed like
+    /// [`HeterogeneityModel::tiers`]).
+    pub fn with_tier_freeze(mut self, tier_freeze: Vec<FreezeLevel>) -> Self {
+        self.tier_freeze = Some(tier_freeze);
         self
     }
 
@@ -297,6 +329,30 @@ impl FlConfig {
         self
     }
 
+    /// The freeze level clients in tier `tier_index` train at: the per-tier
+    /// override when [`FlConfig::tier_freeze`] is set, the global
+    /// [`FlConfig::freeze`] otherwise (or for an out-of-range index).
+    pub fn effective_freeze(&self, tier_index: usize) -> FreezeLevel {
+        match &self.tier_freeze {
+            Some(map) => map.get(tier_index).copied().unwrap_or(self.freeze),
+            None => self.freeze,
+        }
+    }
+
+    /// The freeze level `client_id` trains at, resolved through the
+    /// heterogeneity model's deterministic tier assignment.
+    ///
+    /// Without per-tier freezes this returns [`FlConfig::freeze`] directly —
+    /// no tier lookup, no RNG draw — so the default configuration's cost and
+    /// history profile is untouched by the per-tier machinery.
+    pub fn freeze_for_client(&self, client_id: usize) -> FreezeLevel {
+        if self.tier_freeze.is_none() {
+            return self.freeze;
+        }
+        let profile = self.heterogeneity.profile_for(client_id, self.seed);
+        self.effective_freeze(profile.tier_index)
+    }
+
     /// Validates the configuration, one concern at a time.
     ///
     /// # Errors
@@ -317,6 +373,7 @@ impl FlConfig {
         self.validate_local_objective()?;
         self.validate_execution()?;
         self.validate_cache()?;
+        self.validate_tier_freeze()?;
         self.sgd.validate().map_err(FlError::from)?;
         self.selection.validate()?;
         self.cost.validate()?;
@@ -412,6 +469,46 @@ impl FlConfig {
             return Err(FlError::InvalidConfig {
                 what: "worker_threads must be non-zero when set \
                        (use the sequential backend to disable parallelism)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-tier freeze levels: must align with the tier list, must only
+    /// deepen the global freeze, and need a θ layout the backend preserves.
+    fn validate_tier_freeze(&self) -> Result<()> {
+        let Some(map) = &self.tier_freeze else {
+            return Ok(());
+        };
+        let tiers = self.heterogeneity.num_tiers();
+        if map.len() != tiers {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "tier_freeze has {} entries but the heterogeneity model has {tiers} tiers",
+                    map.len()
+                ),
+            });
+        }
+        for (tier, freeze) in map.iter().enumerate() {
+            if freeze.frozen_blocks() < self.freeze.frozen_blocks() {
+                return Err(FlError::InvalidConfig {
+                    what: format!(
+                        "tier_freeze[{tier}] = {freeze} trains more blocks than the global \
+                         freeze {}; per-tier levels may only deepen the freeze so every \
+                         tier's θ stays a suffix of the global θ",
+                        self.freeze
+                    ),
+                });
+            }
+        }
+        if matches!(
+            self.execution,
+            ExecutionBackend::Async { .. } | ExecutionBackend::Streaming(_)
+        ) {
+            return Err(FlError::InvalidConfig {
+                what: "tier_freeze is not supported by the async/streaming backends: their \
+                       staleness snapshots reconstruct models from one uniform θ layout"
                     .into(),
             });
         }
@@ -697,6 +794,80 @@ mod tests {
             .with_cache_shards(8)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn client_selection_knob_applies_and_defaults_to_uniform() {
+        let c = FlConfig::default();
+        assert_eq!(c.client_selection, ClientSelection::Uniform);
+        for policy in [
+            ClientSelection::Uniform,
+            ClientSelection::TierAware,
+            ClientSelection::SimilarityAware,
+        ] {
+            let c = FlConfig::default()
+                .with_client_selection(policy)
+                .with_participation(0.3);
+            assert_eq!(c.client_selection, policy);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn tier_freeze_knob_applies_and_validates() {
+        let c = FlConfig::default();
+        assert_eq!(c.tier_freeze, None, "uniform freeze by default");
+        assert_eq!(c.effective_freeze(0), FreezeLevel::Moderate);
+        assert_eq!(c.freeze_for_client(5), FreezeLevel::Moderate);
+
+        // Two tiers: the slow tier deepens to classifier-only training.
+        let c = FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_tier_freeze(vec![FreezeLevel::Moderate, FreezeLevel::Classifier]);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.effective_freeze(0), FreezeLevel::Moderate);
+        assert_eq!(c.effective_freeze(1), FreezeLevel::Classifier);
+        // Out-of-range tiers fall back to the global level.
+        assert_eq!(c.effective_freeze(9), FreezeLevel::Moderate);
+        // Client resolution goes through the deterministic tier assignment.
+        for id in 0..8 {
+            let tier = c.heterogeneity.profile_for(id, c.seed).tier_index;
+            assert_eq!(c.freeze_for_client(id), c.effective_freeze(tier));
+        }
+
+        // Length must match the tier list.
+        assert!(FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_tier_freeze(vec![FreezeLevel::Moderate])
+            .validate()
+            .is_err());
+        // Per-tier levels may only deepen the freeze, never shallow it.
+        assert!(FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_tier_freeze(vec![FreezeLevel::Moderate, FreezeLevel::Full])
+            .validate()
+            .is_err());
+        // The async/streaming staleness snapshots assume one θ layout.
+        assert!(FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_tier_freeze(vec![FreezeLevel::Moderate, FreezeLevel::Classifier])
+            .with_async(2)
+            .validate()
+            .is_err());
+        assert!(FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_tier_freeze(vec![FreezeLevel::Moderate, FreezeLevel::Classifier])
+            .with_streaming(StreamingParams::new(4))
+            .validate()
+            .is_err());
+        // The deadline backend keeps the synchronous θ layout and is fine.
+        assert!(FlConfig::default()
+            .with_heterogeneity(HeterogeneityModel::two_tier())
+            .with_tier_freeze(vec![FreezeLevel::Moderate, FreezeLevel::Classifier])
+            .with_execution(ExecutionBackend::Deadline)
+            .with_deadline(100.0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -88,6 +88,88 @@ pub fn sample_entropies_batch(
         .collect()
 }
 
+/// Computes the per-sample cross-entropy loss `−ln softmax(z)[y]` (softmax at
+/// temperature 1) from **precomputed boundary activations**, the score behind
+/// the loss-proportional data-selection policy (Shi & Radu 2021).
+///
+/// Like [`sample_entropies_from_boundary`] this runs only the trainable
+/// suffix, so cached boundary features make the scoring pass as cheap as the
+/// entropy path.
+///
+/// # Errors
+///
+/// Returns an error for an empty boundary matrix, a label count that does not
+/// match the boundary rows, or an out-of-range label.
+pub fn sample_losses_from_boundary(
+    suffix: &mut SuffixNet,
+    boundary: &Matrix,
+    labels: &[usize],
+) -> Result<Vec<f32>> {
+    let proba = scored_probabilities(suffix, boundary, labels)?;
+    Ok(labels
+        .iter()
+        .enumerate()
+        .map(|(row, &y)| -proba.get(row, y).max(f32::MIN_POSITIVE).ln())
+        .collect())
+}
+
+/// Computes the per-sample output-layer gradient norm
+/// `‖softmax(z) − onehot(y)‖₂ = sqrt(Σ_j p_j² − 2·p_y + 1)` from
+/// **precomputed boundary activations**, the score behind the gradient-norm
+/// data-selection policy (Shi & Radu 2021).
+///
+/// This is the exact Euclidean norm of the cross-entropy gradient with
+/// respect to the logits — a cheap, last-layer proxy for the full per-sample
+/// gradient magnitude that needs no backward pass.
+///
+/// # Errors
+///
+/// Returns an error for an empty boundary matrix, a label count that does not
+/// match the boundary rows, or an out-of-range label.
+pub fn sample_gradient_norms_from_boundary(
+    suffix: &mut SuffixNet,
+    boundary: &Matrix,
+    labels: &[usize],
+) -> Result<Vec<f32>> {
+    let proba = scored_probabilities(suffix, boundary, labels)?;
+    Ok(labels
+        .iter()
+        .enumerate()
+        .map(|(row, &y)| {
+            let p = proba.row(row);
+            let sum_sq: f32 = p.iter().map(|&v| v * v).sum();
+            (sum_sq - 2.0 * p[y] + 1.0).max(0.0).sqrt()
+        })
+        .collect())
+}
+
+/// Shared inference pass for the label-aware scores: validates the inputs,
+/// runs the suffix in inference mode and returns the temperature-1 softmax
+/// probabilities.
+fn scored_probabilities(
+    suffix: &mut SuffixNet,
+    boundary: &Matrix,
+    labels: &[usize],
+) -> Result<Matrix> {
+    validate_entropy_inputs(boundary, 1.0)?;
+    if labels.len() != boundary.rows() {
+        return Err(FlError::InvalidConfig {
+            what: format!(
+                "label count {} does not match sample count {}",
+                labels.len(),
+                boundary.rows()
+            ),
+        });
+    }
+    let logits = suffix.forward(boundary, false)?;
+    if let Some(&bad) = labels.iter().find(|&&y| y >= logits.cols()) {
+        return Err(FlError::InvalidConfig {
+            what: format!("label {bad} out of range for {} classes", logits.cols()),
+        });
+    }
+    Ok(stats::softmax(&logits)?)
+}
+
 fn validate_entropy_inputs(features: &Matrix, temperature: f32) -> Result<()> {
     if features.rows() == 0 {
         return Err(FlError::InvalidConfig {
@@ -351,6 +433,75 @@ mod tests {
         assert!(sample_entropies_batch(&suffix, &[], 0.1)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn loss_scores_match_manual_cross_entropy() {
+        use fedft_nn::FreezeLevel;
+        let m = model();
+        let x = random_features(18, 8, 6);
+        let labels: Vec<usize> = (0..18).map(|i| i % 5).collect();
+        for freeze in FreezeLevel::all() {
+            let boundary = m.forward_frozen(freeze, &x).unwrap();
+            let mut suffix = m.trainable_suffix(freeze);
+            let losses = sample_losses_from_boundary(&mut suffix, &boundary, &labels).unwrap();
+            assert_eq!(losses.len(), 18);
+            // Cross-entropy of a softmax is non-negative and finite here.
+            assert!(losses.iter().all(|&l| l >= 0.0 && l.is_finite()));
+            // Manual check on row 0: −ln p_y from the probability matrix.
+            let logits = suffix.forward(&boundary, false).unwrap();
+            let proba = stats::softmax(&logits).unwrap();
+            let expected = -proba.get(0, labels[0]).ln();
+            assert!((losses[0] - expected).abs() < 1e-6, "freeze {freeze}");
+        }
+    }
+
+    #[test]
+    fn gradient_norm_scores_match_explicit_residual_norm() {
+        use fedft_nn::FreezeLevel;
+        let m = model();
+        let x = random_features(14, 8, 7);
+        let labels: Vec<usize> = (0..14).map(|i| (i * 3) % 5).collect();
+        let freeze = FreezeLevel::Moderate;
+        let boundary = m.forward_frozen(freeze, &x).unwrap();
+        let mut suffix = m.trainable_suffix(freeze);
+        let norms = sample_gradient_norms_from_boundary(&mut suffix, &boundary, &labels).unwrap();
+        let logits = suffix.forward(&boundary, false).unwrap();
+        let proba = stats::softmax(&logits).unwrap();
+        for (row, &y) in labels.iter().enumerate() {
+            let residual_sq: f32 = proba
+                .row(row)
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| {
+                    let r = p - if j == y { 1.0 } else { 0.0 };
+                    r * r
+                })
+                .sum();
+            assert!(
+                (norms[row] - residual_sq.sqrt()).abs() < 1e-6,
+                "row {row}: {} vs {}",
+                norms[row],
+                residual_sq.sqrt()
+            );
+            assert!(norms[row] >= 0.0 && norms[row] <= (2.0_f32).sqrt() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn label_aware_scores_validate_inputs() {
+        use fedft_nn::FreezeLevel;
+        let m = model();
+        let x = random_features(6, 8, 8);
+        let boundary = m.forward_frozen(FreezeLevel::Moderate, &x).unwrap();
+        let mut suffix = m.trainable_suffix(FreezeLevel::Moderate);
+        // Mismatched label count.
+        assert!(sample_losses_from_boundary(&mut suffix, &boundary, &[0, 1]).is_err());
+        // Out-of-range label (model has 5 classes).
+        let bad = vec![0, 1, 2, 3, 4, 9];
+        assert!(sample_gradient_norms_from_boundary(&mut suffix, &boundary, &bad).is_err());
+        // Empty boundary.
+        assert!(sample_losses_from_boundary(&mut suffix, &Matrix::zeros(0, 12), &[]).is_err());
     }
 
     #[test]

@@ -628,9 +628,17 @@ impl RoundExecutor for DeadlineExecutor {
             return Err(FlError::NoParticipants { round });
         }
         let hetero = &config.heterogeneity;
-        // Client-invariant inputs of the prediction, computed once per round.
-        let flops = global_model.flops_per_sample(config.freeze);
-        let traffic = crate::comm::round_traffic(global_model, config.freeze);
+        // Client-invariant inputs of the prediction, computed once per round
+        // and per tier: with `tier_freeze` set, a tier's freeze level changes
+        // both its per-sample training FLOPs and its upload size. Without
+        // `tier_freeze` every tier resolves to the global freeze and this is
+        // the single pre-policy value replicated per tier.
+        let tier_flops: Vec<_> = (0..hetero.num_tiers())
+            .map(|t| global_model.flops_per_sample(config.effective_freeze(t)))
+            .collect();
+        let tier_traffic: Vec<_> = (0..hetero.num_tiers())
+            .map(|t| crate::comm::round_traffic(global_model, config.effective_freeze(t)))
+            .collect();
         let mut survivors: Vec<&Client> = Vec::with_capacity(participants.len());
         let mut profiles: Vec<DeviceProfile> = Vec::with_capacity(participants.len());
         let mut drops: Vec<DroppedClient> = Vec::new();
@@ -644,8 +652,8 @@ impl RoundExecutor for DeadlineExecutor {
             };
             let predicted = hetero.predicted_seconds_from_parts(
                 &profile,
-                &flops,
-                &traffic,
+                &tier_flops[profile.tier_index],
+                &tier_traffic[profile.tier_index],
                 client.num_samples(),
                 config,
             );
@@ -681,8 +689,11 @@ impl RoundExecutor for DeadlineExecutor {
             .iter()
             .zip(&profiles)
             .map(|(update, profile)| {
-                let effective =
-                    hetero.simulated_round_seconds(profile, update.compute_seconds, &traffic);
+                let effective = hetero.simulated_round_seconds(
+                    profile,
+                    update.compute_seconds,
+                    &tier_traffic[profile.tier_index],
+                );
                 slowest = slowest.max(effective);
                 UpdateTiming {
                     client_id: update.client_id,

@@ -91,6 +91,7 @@ pub mod executor;
 pub mod methods;
 pub mod metrics;
 pub mod participation;
+pub mod policy;
 pub mod pretrain;
 pub mod selection;
 pub mod server;
@@ -110,6 +111,7 @@ pub use executor::{
 pub use methods::Method;
 pub use metrics::{RoundRecord, RunResult};
 pub use participation::ParticipationModel;
+pub use policy::{ClientSelection, ClientSelectionPolicy, DataSelectionPolicy, SelectionContext};
 pub use selection::SelectionStrategy;
 pub use server::Server;
 pub use simulation::{ClientPool, Simulation};

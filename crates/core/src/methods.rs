@@ -56,6 +56,24 @@ pub enum Method {
     /// Partial fine-tuning on all local data (the FedFT-ALL baseline of
     /// Table III).
     FedFtAll,
+    /// Partial fine-tuning with loss-proportional data selection
+    /// ([`SelectionStrategy::LossProportional`]): samples are drawn without
+    /// replacement with probability proportional to their cross-entropy loss.
+    /// Not in the paper's tables; an alternative importance-sampling policy
+    /// for the policy-matrix study.
+    FedFtLds {
+        /// Fraction of local data selected per round.
+        pds: f64,
+    },
+    /// Partial fine-tuning with gradient-norm top-k data selection
+    /// ([`SelectionStrategy::GradientNorm`]): keeps the samples with the
+    /// largest last-layer gradient magnitude `‖softmax(z) − onehot(y)‖₂`.
+    /// Not in the paper's tables; an alternative importance-sampling policy
+    /// for the policy-matrix study.
+    FedFtGns {
+        /// Fraction of local data selected per round.
+        pds: f64,
+    },
 }
 
 impl Method {
@@ -93,6 +111,8 @@ impl Method {
             Method::FedFtRds { pds } => format!("FedFT-RDS ({:.0}%)", pds * 100.0),
             Method::FedFtEds { pds } => format!("FedFT-EDS ({:.0}%)", pds * 100.0),
             Method::FedFtAll => "FedFT-ALL".to_string(),
+            Method::FedFtLds { pds } => format!("FedFT-LDS ({:.0}%)", pds * 100.0),
+            Method::FedFtGns { pds } => format!("FedFT-GNS ({:.0}%)", pds * 100.0),
         }
     }
 
@@ -105,7 +125,11 @@ impl Method {
     pub fn uses_partial_finetuning(&self) -> bool {
         matches!(
             self,
-            Method::FedFtRds { .. } | Method::FedFtEds { .. } | Method::FedFtAll
+            Method::FedFtRds { .. }
+                | Method::FedFtEds { .. }
+                | Method::FedFtAll
+                | Method::FedFtLds { .. }
+                | Method::FedFtGns { .. }
         )
     }
 
@@ -151,6 +175,16 @@ impl Method {
                 config.selection = SelectionStrategy::All;
                 config.algorithm = LocalAlgorithm::FedAvg;
             }
+            Method::FedFtLds { pds } => {
+                config.freeze = FreezeLevel::Moderate;
+                config.selection = SelectionStrategy::LossProportional { fraction: pds };
+                config.algorithm = LocalAlgorithm::FedAvg;
+            }
+            Method::FedFtGns { pds } => {
+                config.freeze = FreezeLevel::Moderate;
+                config.selection = SelectionStrategy::GradientNorm { fraction: pds };
+                config.algorithm = LocalAlgorithm::FedAvg;
+            }
         }
         config
     }
@@ -172,6 +206,8 @@ mod tests {
         assert_eq!(Method::FedAvgRds { pds: 0.1 }.name(), "FedAvg-RDS (10%)");
         assert_eq!(Method::FedFtEds { pds: 0.5 }.name(), "FedFT-EDS (50%)");
         assert_eq!(Method::FedFtAll.name(), "FedFT-ALL");
+        assert_eq!(Method::FedFtLds { pds: 0.1 }.name(), "FedFT-LDS (10%)");
+        assert_eq!(Method::FedFtGns { pds: 0.1 }.name(), "FedFT-GNS (10%)");
         assert_eq!(Method::FedAvgScratch.to_string(), "FedAvg w/o pretraining");
     }
 
@@ -217,7 +253,15 @@ mod tests {
                 "{method}"
             );
         }
-        assert!(Method::FedFtAll.configure(base).validate().is_ok());
+        assert!(Method::FedFtAll.configure(base.clone()).validate().is_ok());
+        assert!(Method::FedFtLds { pds: 0.1 }
+            .configure(base.clone())
+            .validate()
+            .is_ok());
+        assert!(Method::FedFtGns { pds: 0.1 }
+            .configure(base)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -19,8 +19,14 @@
 
 use crate::{FlError, Result};
 use fedft_tensor::rng;
-use rand::seq::SliceRandom;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Floor substituted for non-finite or non-positive weights in
+/// [`ParticipationModel::sample_round_weighted`], so a degenerate weight can
+/// never knock a client out of the pool entirely.
+const MIN_CLIENT_WEIGHT: f64 = 1e-12;
 
 /// Selects which clients participate in each round.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,8 +46,16 @@ impl ParticipationModel {
     ///
     /// # Errors
     ///
-    /// Returns [`FlError::InvalidConfig`] for fractions outside `(0, 1]`.
+    /// Returns [`FlError::InvalidConfig`] for fractions outside `(0, 1]` and
+    /// for NaN fractions. NaN is rejected explicitly rather than relying on
+    /// the range comparison (`!(NaN > 0.0)` happens to be true, but that is
+    /// an accident of IEEE comparison semantics, not a contract).
     pub fn new(fraction: f64) -> Result<Self> {
+        if fraction.is_nan() {
+            return Err(FlError::InvalidConfig {
+                what: "participation fraction must not be NaN".into(),
+            });
+        }
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(FlError::InvalidConfig {
                 what: format!("participation fraction must be in (0, 1], got {fraction}"),
@@ -51,6 +65,12 @@ impl ParticipationModel {
     }
 
     /// Number of clients that participate out of `total`.
+    ///
+    /// The count is `round(fraction · total)` clamped to `[1, total]`: small
+    /// fractions whose product rounds to zero (e.g. `fraction = 0.04` with
+    /// `total = 10`) still field **one** participant, because a round with no
+    /// updates would stall aggregation. An empty pool (`total = 0`) is the
+    /// only case that yields zero.
     pub fn participants_per_round(&self, total: usize) -> usize {
         if total == 0 {
             return 0;
@@ -67,10 +87,54 @@ impl ParticipationModel {
         if k == total {
             return (0..total).collect();
         }
-        let mut ids: Vec<usize> = (0..total).collect();
-        let mut r = rng::rng_for_indexed(seed, "participation", round as u64);
-        ids.shuffle(&mut r);
-        ids.truncate(k);
+        let mut ids = rng::seeded_subset(seed, "participation", round as u64, total, k);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Chooses participating client ids for `round` with per-client weights,
+    /// via Efraimidis–Spirakis reservoir keys (`key_i = u_i^{1/w_i}`, keep
+    /// the `k` largest keys).
+    ///
+    /// One generator is created per round on the caller-supplied `stream`
+    /// label and uniforms are drawn in client-id order, so the draw is
+    /// deterministic in `(seed, stream, round)` and independent of every
+    /// other named stream — enabling a weighted client-selection policy
+    /// never perturbs the `"participation"` history of the uniform policy.
+    /// Non-finite or non-positive weights are floored to a tiny positive
+    /// value rather than rejected. Returned ids are sorted ascending.
+    pub fn sample_round_weighted(
+        &self,
+        weights: &[f64],
+        round: usize,
+        seed: u64,
+        stream: &str,
+    ) -> Vec<usize> {
+        let total = weights.len();
+        let k = self.participants_per_round(total);
+        if k == total {
+            return (0..total).collect();
+        }
+        let mut r = rng::rng_for_indexed(seed, stream, round as u64);
+        let mut keyed: Vec<(f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .map(|(id, &raw)| {
+                let u: f64 = r.gen();
+                let w = if raw.is_finite() && raw > 0.0 {
+                    raw
+                } else {
+                    MIN_CLIENT_WEIGHT
+                };
+                (u.powf(1.0 / w), id)
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut ids: Vec<usize> = keyed[..k].iter().map(|&(_, id)| id).collect();
         ids.sort_unstable();
         ids
     }
@@ -89,12 +153,83 @@ mod tests {
     }
 
     #[test]
+    fn construction_rejects_nan_explicitly() {
+        let err = ParticipationModel::new(f64::NAN).unwrap_err();
+        assert!(
+            err.to_string().contains("NaN"),
+            "NaN must be called out explicitly, got: {err}"
+        );
+    }
+
+    #[test]
     fn participant_counts() {
         let p = ParticipationModel::new(0.1).unwrap();
         assert_eq!(p.participants_per_round(100), 10);
         assert_eq!(p.participants_per_round(5), 1);
         assert_eq!(p.participants_per_round(0), 0);
         assert_eq!(ParticipationModel::default().participants_per_round(7), 7);
+    }
+
+    #[test]
+    fn fractions_rounding_to_zero_clamp_to_one_participant() {
+        // 0.04 · 10 = 0.4 rounds to 0; the clamp guarantees one participant.
+        let p = ParticipationModel::new(0.04).unwrap();
+        assert_eq!(p.participants_per_round(10), 1);
+        assert_eq!(p.sample_round(10, 0, 42).len(), 1);
+        // Only the empty pool yields zero participants.
+        assert_eq!(p.participants_per_round(0), 0);
+    }
+
+    #[test]
+    fn weighted_sampling_is_deterministic_and_biased() {
+        let p = ParticipationModel::new(0.25).unwrap();
+        let heavy: Vec<f64> = (0..20).map(|i| if i < 4 { 50.0 } else { 0.1 }).collect();
+        let a = p.sample_round_weighted(&heavy, 0, 7, "tier-participation");
+        let b = p.sample_round_weighted(&heavy, 0, 7, "tier-participation");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ids sorted ascending");
+        // Over many rounds the heavy clients dominate.
+        let mut heavy_hits = 0usize;
+        let mut total_hits = 0usize;
+        for round in 0..200 {
+            for id in p.sample_round_weighted(&heavy, round, 7, "tier-participation") {
+                total_hits += 1;
+                if id < 4 {
+                    heavy_hits += 1;
+                }
+            }
+        }
+        assert!(
+            heavy_hits as f64 > 0.5 * total_hits as f64,
+            "4 heavy clients out of 20 should take most slots: {heavy_hits}/{total_hits}"
+        );
+    }
+
+    #[test]
+    fn weighted_sampling_tolerates_degenerate_weights() {
+        let p = ParticipationModel::new(0.5).unwrap();
+        let weights = [f64::NAN, 0.0, -3.0, f64::INFINITY, 1.0, 1.0];
+        let ids = p.sample_round_weighted(&weights, 3, 9, "tier-participation");
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|&id| id < 6));
+        // Full participation short-circuits without drawing.
+        let full = ParticipationModel::default();
+        assert_eq!(
+            full.sample_round_weighted(&weights, 0, 9, "tier-participation"),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn weighted_streams_do_not_perturb_uniform_history() {
+        let p = ParticipationModel::new(0.3).unwrap();
+        let before = p.sample_round(10, 0, 42);
+        let w = vec![1.0; 10];
+        let _ = p.sample_round_weighted(&w, 0, 42, "tier-participation");
+        let _ = p.sample_round_weighted(&w, 0, 42, "similarity-participation");
+        assert_eq!(p.sample_round(10, 0, 42), before);
+        assert_eq!(before, vec![0, 2, 6], "must match the pinned history");
     }
 
     #[test]

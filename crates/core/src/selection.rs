@@ -3,7 +3,6 @@
 use crate::entropy::rank_by_entropy;
 use crate::{FlError, Result};
 use fedft_tensor::rng;
-use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
 /// How a client chooses which local samples to train on in a round.
@@ -32,6 +31,23 @@ pub enum SelectionStrategy {
         /// Softmax temperature ρ; the paper uses `0.1`.
         temperature: f32,
     },
+    /// Loss-proportional data selection (Shi & Radu 2021): samples are drawn
+    /// without replacement with probability proportional to their per-sample
+    /// cross-entropy loss under the current model. Like entropy selection it
+    /// needs one inference pass per round; selection itself draws from the
+    /// `"lds-client-{id}"` RNG stream.
+    LossProportional {
+        /// Fraction `Pds ∈ (0, 1]` of local samples to keep.
+        fraction: f64,
+    },
+    /// Gradient-norm data selection (Shi & Radu 2021): keep the samples with
+    /// the largest output-layer gradient norm `‖softmax(z) − onehot(y)‖₂`, a
+    /// backward-free proxy for per-sample gradient magnitude. Deterministic
+    /// top-k, no RNG stream.
+    GradientNorm {
+        /// Fraction `Pds ∈ (0, 1]` of local samples to keep.
+        fraction: f64,
+    },
 }
 
 impl SelectionStrategy {
@@ -42,6 +58,8 @@ impl SelectionStrategy {
             SelectionStrategy::All => 1.0,
             SelectionStrategy::Random { fraction } => *fraction,
             SelectionStrategy::Entropy { fraction, .. } => *fraction,
+            SelectionStrategy::LossProportional { fraction } => *fraction,
+            SelectionStrategy::GradientNorm { fraction } => *fraction,
         }
     }
 
@@ -49,15 +67,22 @@ impl SelectionStrategy {
     /// local dataset (and therefore incurs the selection overhead accounted
     /// for by the cost model).
     pub fn needs_inference_pass(&self) -> bool {
-        matches!(self, SelectionStrategy::Entropy { .. })
+        matches!(
+            self,
+            SelectionStrategy::Entropy { .. }
+                | SelectionStrategy::LossProportional { .. }
+                | SelectionStrategy::GradientNorm { .. }
+        )
     }
 
-    /// Short name used in reports (`all`, `rds`, `eds`).
+    /// Short name used in reports (`all`, `rds`, `eds`, `lds`, `gns`).
     pub fn short_name(&self) -> &'static str {
         match self {
             SelectionStrategy::All => "all",
             SelectionStrategy::Random { .. } => "rds",
             SelectionStrategy::Entropy { .. } => "eds",
+            SelectionStrategy::LossProportional { .. } => "lds",
+            SelectionStrategy::GradientNorm { .. } => "gns",
         }
     }
 
@@ -114,19 +139,27 @@ impl SelectionStrategy {
         let keep = self.selected_count(num_samples);
         match self {
             SelectionStrategy::All => Ok((0..num_samples).collect()),
-            SelectionStrategy::Random { .. } => {
-                let mut order: Vec<usize> = (0..num_samples).collect();
-                let mut r =
-                    rng::rng_for_indexed(seed, &format!("rds-client-{client_id}"), round as u64);
-                order.shuffle(&mut r);
-                order.truncate(keep);
-                Ok(order)
-            }
+            SelectionStrategy::Random { .. } => Ok(rng::seeded_subset(
+                seed,
+                &format!("rds-client-{client_id}"),
+                round as u64,
+                num_samples,
+                keep,
+            )),
             SelectionStrategy::Entropy { .. } => Err(FlError::InvalidConfig {
                 what: "entropy selection needs per-sample entropies; compute them \
                        (crate::entropy) and call select_from_entropies"
                     .into(),
             }),
+            SelectionStrategy::LossProportional { .. } | SelectionStrategy::GradientNorm { .. } => {
+                Err(FlError::InvalidConfig {
+                    what: format!(
+                        "`{}` selection scores samples with the current model; go through \
+                         the policy layer (crate::policy::DataSelectionPolicy)",
+                        self.short_name()
+                    ),
+                })
+            }
         }
     }
 
@@ -222,6 +255,22 @@ mod tests {
         }
         .needs_inference_pass());
         assert!(!SelectionStrategy::Random { fraction: 0.1 }.needs_inference_pass());
+        // The Shi & Radu 2021 score-based strategies: both need an inference
+        // pass (their scores come from the current model's predictions).
+        let lds = SelectionStrategy::LossProportional { fraction: 0.3 };
+        let gns = SelectionStrategy::GradientNorm { fraction: 0.3 };
+        assert_eq!(lds.short_name(), "lds");
+        assert_eq!(gns.short_name(), "gns");
+        assert_eq!(lds.fraction(), 0.3);
+        assert_eq!(gns.fraction(), 0.3);
+        assert!(lds.needs_inference_pass());
+        assert!(gns.needs_inference_pass());
+        assert!(SelectionStrategy::LossProportional { fraction: 0.0 }
+            .validate()
+            .is_err());
+        assert!(SelectionStrategy::GradientNorm { fraction: 2.0 }
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -345,5 +394,13 @@ mod tests {
         assert!(SelectionStrategy::Random { fraction: 0.5 }
             .select_from_entropies(&[0.1])
             .is_err());
+        // The score-based strategies refuse both model-free paths: they need
+        // labels as well as logits, which only the policy layer supplies.
+        let lds = SelectionStrategy::LossProportional { fraction: 0.5 };
+        let gns = SelectionStrategy::GradientNorm { fraction: 0.5 };
+        assert!(lds.select(10, 0, 0, 0).is_err());
+        assert!(gns.select(10, 0, 0, 0).is_err());
+        assert!(lds.select_from_entropies(&[0.1]).is_err());
+        assert!(gns.select_from_entropies(&[0.1]).is_err());
     }
 }

@@ -65,6 +65,72 @@ impl Server {
             .collect()
     }
 
+    /// Aggregates client updates whose trainable vectors were produced at
+    /// **different freeze levels** (per-tier freeze,
+    /// [`crate::FlConfig::tier_freeze`]).
+    ///
+    /// Because a deeper freeze's θ is bit-for-bit the *tail* of a shallower
+    /// freeze's θ (block parameters flatten in order), an update of length
+    /// `l` aligns against the global vector of length `L` at offset
+    /// `L − l`. Each global position is the weighted average of the clients
+    /// that actually trained it; positions no participant reached (the front
+    /// of the vector, when every client this round trained a deeper freeze)
+    /// keep their current global value. When every update has the full
+    /// length the method delegates to [`Server::aggregate`], so uniform
+    /// rounds stay bit-identical to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoParticipants`] for an empty round and
+    /// [`FlError::InvalidConfig`] when an update is longer than the global
+    /// vector.
+    pub fn aggregate_mixed(
+        &self,
+        updates: &[ClientUpdate],
+        current_global: &ParamVector,
+        round: usize,
+    ) -> Result<ParamVector> {
+        if updates.is_empty() {
+            return Err(FlError::NoParticipants { round });
+        }
+        let base_len = current_global.values().len();
+        if updates.iter().all(|u| u.theta.values().len() == base_len) {
+            return self.aggregate(updates, round);
+        }
+        if let Some(bad) = updates.iter().find(|u| u.theta.values().len() > base_len) {
+            return Err(FlError::InvalidConfig {
+                what: format!(
+                    "client {} uploaded {} trainable parameters but the global θ has {base_len}; \
+                     per-tier freezes may only shrink the trainable part",
+                    bad.client_id,
+                    bad.theta.values().len()
+                ),
+            });
+        }
+        let weights = self.aggregation_weights(updates);
+        let mut acc = vec![0.0f32; base_len];
+        let mut wsum = vec![0.0f32; base_len];
+        for (u, w) in updates.iter().zip(weights) {
+            let theta = u.theta.values();
+            let offset = base_len - theta.len();
+            for (j, &v) in theta.iter().enumerate() {
+                acc[offset + j] += w * v;
+                wsum[offset + j] += w;
+            }
+        }
+        let global = current_global.values();
+        let out: Vec<f32> = (0..base_len)
+            .map(|j| {
+                if wsum[j] > 0.0 {
+                    acc[j] / wsum[j]
+                } else {
+                    global[j]
+                }
+            })
+            .collect();
+        Ok(ParamVector::from_values(out))
+    }
+
     /// The multiplicative discount applied to an update that lagged
     /// `staleness` global-model versions behind its aggregation round: the
     /// polynomial schedule `1 / (1 + s)`, so a fresh update keeps its full
@@ -246,6 +312,67 @@ mod tests {
         let server = Server::new();
         let updates = vec![update(0, vec![1.0, 2.0], 4), update(1, vec![1.0], 4)];
         assert!(server.aggregate(&updates, 0).is_err());
+    }
+
+    #[test]
+    fn mixed_aggregation_aligns_suffixes_by_offset() {
+        let server = Server::new();
+        // Global θ of length 4; client 0 trained the full vector, client 1
+        // (deeper freeze) only the last two positions. Equal selected
+        // samples → equal weights 0.5.
+        let global = ParamVector::from_values(vec![10.0, 20.0, 30.0, 40.0]);
+        let updates = vec![
+            update(0, vec![1.0, 2.0, 3.0, 4.0], 5),
+            update(1, vec![7.0, 9.0], 5),
+        ];
+        let theta = server.aggregate_mixed(&updates, &global, 0).unwrap();
+        // Front positions: only client 0 trained them → its values verbatim.
+        assert!((theta.values()[0] - 1.0).abs() < 1e-6);
+        assert!((theta.values()[1] - 2.0).abs() < 1e-6);
+        // Tail positions: average of both clients.
+        assert!((theta.values()[2] - 5.0).abs() < 1e-6);
+        assert!((theta.values()[3] - 6.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_aggregation_keeps_untrained_positions_at_the_global_value() {
+        let server = Server::new();
+        let global = ParamVector::from_values(vec![10.0, 20.0, 30.0]);
+        // Mixed lengths (2 and 1) force the offset path; position 0 is
+        // trained by nobody and must keep its global value.
+        let updates = vec![update(0, vec![1.0, 2.0], 4), update(1, vec![8.0], 4)];
+        let theta = server.aggregate_mixed(&updates, &global, 0).unwrap();
+        assert!((theta.values()[0] - 10.0).abs() < 1e-6);
+        assert!((theta.values()[1] - 1.0).abs() < 1e-6);
+        assert!((theta.values()[2] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_aggregation_with_uniform_lengths_is_bit_identical_to_aggregate() {
+        let server = Server::new();
+        let global = ParamVector::from_values(vec![0.0, 0.0]);
+        let updates = vec![update(0, vec![0.1, 0.9], 7), update(1, vec![0.3, -0.4], 13)];
+        let plain = server.aggregate(&updates, 2).unwrap();
+        let mixed = server.aggregate_mixed(&updates, &global, 2).unwrap();
+        for (a, b) in plain.values().iter().zip(mixed.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mixed_aggregation_validates_inputs() {
+        let server = Server::new();
+        let global = ParamVector::from_values(vec![0.0, 0.0]);
+        assert!(matches!(
+            server.aggregate_mixed(&[], &global, 3).unwrap_err(),
+            FlError::NoParticipants { round: 3 }
+        ));
+        // An update longer than the global vector cannot be aligned.
+        let updates = vec![update(0, vec![1.0, 2.0, 3.0], 4), update(1, vec![1.0], 4)];
+        assert!(matches!(
+            server.aggregate_mixed(&updates, &global, 0).unwrap_err(),
+            FlError::InvalidConfig { .. }
+        ));
     }
 
     #[test]

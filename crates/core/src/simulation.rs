@@ -3,7 +3,7 @@
 
 use crate::cache::{CacheRegistry, CacheScope, CacheStats, FeatureCache};
 use crate::client::Client;
-use crate::comm::round_traffic;
+use crate::comm::{round_traffic, RoundTraffic};
 use crate::config::FlConfig;
 use crate::metrics::{RoundRecord, RunResult};
 use crate::participation::ParticipationModel;
@@ -224,17 +224,27 @@ impl Simulation {
         let mut cumulative_wall = 0.0_f64;
         let hetero = &self.config.heterogeneity;
         // The trainable parameter count is fixed by the architecture and
-        // freeze level, so the per-round traffic is round-invariant; device
-        // profiles are fixed for the whole run by (seed, client id).
-        let traffic = round_traffic(&global_model, self.config.freeze);
+        // (per-tier) freeze level, so per-round traffic is round-invariant
+        // per tier; device profiles are fixed for the whole run by
+        // (seed, client id). Without `tier_freeze` every tier resolves to
+        // the global freeze, so this is the single pre-policy traffic value
+        // replicated per tier.
+        let tier_traffic: Vec<RoundTraffic> = (0..hetero.num_tiers())
+            .map(|t| round_traffic(&global_model, self.config.effective_freeze(t)))
+            .collect();
         let profiles: Vec<_> = (0..clients.len())
             .map(|id| hetero.profile_for(id, self.config.seed))
             .collect();
+        // Resolve the client-selection policy once: its weights (tier
+        // compute, shard label histograms) are fixed for the whole run.
+        let tier_compute: Vec<f64> = profiles.iter().map(|p| p.tier.compute).collect();
+        let shards: Vec<Arc<Dataset>> = clients.iter().map(|c| Arc::clone(c.shard())).collect();
+        let client_selection = self.config.client_selection.policy(&tier_compute, &shards);
         let mut cache_stats_before = pool.cache_stats();
 
         for round in 0..self.config.rounds {
             let participant_ids =
-                participation.sample_round(clients.len(), round, self.config.seed);
+                client_selection.sample_round(&participation, round, self.config.seed);
             let participants: Vec<&Client> =
                 participant_ids.iter().map(|&id| &clients[id]).collect();
             let outcome = executor.run_round(&participants, &global_model, &self.config, round)?;
@@ -249,7 +259,14 @@ impl Simulation {
                 // pre-async aggregation whenever no update is stale. A
                 // streaming flush goes through the buffered entry point,
                 // which applies the same rule to the flushed buffer.
-                let theta = if is_flush {
+                let theta = if self.config.tier_freeze.is_some() {
+                    // Per-tier freezes upload θ vectors of differing length;
+                    // align each as a suffix of the global θ. (Validation
+                    // confines tier_freeze to synchronous backends, where
+                    // every update is fresh.)
+                    let current = global_model.trainable_vector(self.config.freeze);
+                    server.aggregate_mixed(updates, &current, round)?
+                } else if is_flush {
                     server.aggregate_buffered(updates, &update_staleness, round)?
                 } else {
                     server.aggregate_stale(updates, &update_staleness, round)?
@@ -290,8 +307,11 @@ impl Simulation {
                 let mut slowest = 0.0_f64;
                 for update in updates {
                     let profile = &profiles[update.client_id];
-                    let effective =
-                        hetero.simulated_round_seconds(profile, update.compute_seconds, &traffic);
+                    let effective = hetero.simulated_round_seconds(
+                        profile,
+                        update.compute_seconds,
+                        &tier_traffic[profile.tier_index],
+                    );
                     slowest = slowest.max(effective);
                 }
                 // A synchronous server cannot tell an offline device from a

@@ -3,7 +3,6 @@
 use crate::dataset::Dataset;
 use crate::{DataError, Result};
 use fedft_tensor::{rng, Matrix};
-use rand::seq::SliceRandom;
 
 /// A mini-batch of features and labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,9 +67,13 @@ impl BatchSampler {
                 op: "epoch_batches",
             });
         }
-        let mut order: Vec<usize> = (0..dataset.len()).collect();
-        let mut r = rng::rng_for_indexed(self.seed, "batch-sampler", epoch);
-        order.shuffle(&mut r);
+        let order = rng::seeded_subset(
+            self.seed,
+            "batch-sampler",
+            epoch,
+            dataset.len(),
+            dataset.len(),
+        );
         let mut batches = Vec::with_capacity(order.len().div_ceil(self.batch_size));
         for chunk in order.chunks(self.batch_size) {
             batches.push(Batch {

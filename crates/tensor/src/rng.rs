@@ -8,6 +8,7 @@
 //! streams of existing consumers.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Derives a child seed from a master seed and a label.
@@ -49,6 +50,23 @@ pub fn rng_for(master: u64, label: &str) -> StdRng {
 /// Creates a seeded [`StdRng`] from a master seed, a label and an index.
 pub fn rng_for_indexed(master: u64, label: &str, index: u64) -> StdRng {
     StdRng::seed_from_u64(derive_seed_indexed(master, label, index))
+}
+
+/// Shuffles the indices `0..n` on the stream `(master, label, index)` and
+/// keeps the first `k` (all of them when `k >= n`), preserving shuffle order.
+///
+/// This is the shared "seeded subset" primitive behind random data selection,
+/// client participation sampling and epoch batch shuffling. The result is a
+/// Fisher–Yates shuffle of the identity permutation truncated to `k`, so with
+/// `k == n` it is a full seeded permutation. Callers that need sorted output
+/// sort the returned vector themselves — the raw order is part of some
+/// consumers' pinned histories.
+pub fn seeded_subset(master: u64, label: &str, index: u64, n: usize, k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut r = rng_for_indexed(master, label, index);
+    order.shuffle(&mut r);
+    order.truncate(k);
+    order
 }
 
 /// One round of the SplitMix64 output function.
@@ -106,6 +124,21 @@ mod tests {
         let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
         let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn seeded_subset_matches_manual_shuffle_truncate() {
+        let mut order: Vec<usize> = (0..12).collect();
+        let mut r = rng_for_indexed(9, "stream", 4);
+        order.shuffle(&mut r);
+        order.truncate(5);
+        assert_eq!(seeded_subset(9, "stream", 4, 12, 5), order);
+        // k >= n yields the full permutation.
+        assert_eq!(seeded_subset(9, "stream", 4, 12, 12).len(), 12);
+        let full = seeded_subset(9, "stream", 4, 12, 99);
+        let mut sorted = full.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
     }
 
     #[test]

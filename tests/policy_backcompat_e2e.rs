@@ -1,0 +1,208 @@
+//! Policy-layer back-compat: the pluggable policy families must be
+//! invisible when left at their defaults.
+//!
+//! The policy layer (`fedft::core::policy`) replaced the closed
+//! data-selection dispatch and the fixed uniform client sampler with trait
+//! families. Its bit-identity contract says a default configuration —
+//! entropy data selection, uniform client selection, one global freeze
+//! level — runs exactly the pre-policy code path on exactly the same named
+//! RNG streams. These tests pin that contract end to end, on every
+//! execution backend:
+//!
+//! * spelling the default policies out explicitly is bit-identical to not
+//!   mentioning them at all;
+//! * all five backends (sequential, parallel, neutral deadline, async with
+//!   staleness bound 0, degenerate streaming) still agree bit for bit on
+//!   the default-policy run — the pre-existing backend-equivalence pin,
+//!   re-asserted through the policy layer;
+//! * and the equivalence survives partial participation, where the uniform
+//!   client-selection policy actually exercises its sampling path.
+
+use fedft::core::{
+    ClientSelection, ExecutionBackend, FlConfig, HeterogeneityModel, Method, RoundRecord,
+    RunResult, SelectionStrategy, Simulation, StreamingParams,
+};
+use fedft::data::federated::PartitionScheme;
+use fedft::data::{domains, FederatedDataset};
+use fedft::nn::{BlockNet, BlockNetConfig};
+
+const CLIENTS: usize = 8;
+const SEED: u64 = 21;
+
+fn setup() -> (FederatedDataset, BlockNet) {
+    let target = domains::cifar10_like()
+        .with_samples_per_class(20)
+        .with_test_samples_per_class(6)
+        .generate(3)
+        .expect("target generation");
+    let fed = FederatedDataset::partition(
+        &target.train,
+        target.test.clone(),
+        CLIENTS,
+        PartitionScheme::Dirichlet { alpha: 0.5 },
+        7,
+    )
+    .expect("partitioning");
+    let model_cfg = BlockNetConfig::new(target.train.feature_dim(), target.train.num_classes())
+        .with_hidden(24, 24, 24);
+    let model = BlockNet::new(&model_cfg, 5);
+    (fed, model)
+}
+
+fn base_config() -> FlConfig {
+    Method::FedFtEds { pds: 0.5 }.configure(
+        FlConfig::default()
+            .with_rounds(3)
+            .with_local_epochs(2)
+            .with_batch_size(16)
+            .with_seed(SEED),
+    )
+}
+
+/// The five backends under test, applied to a base configuration. The
+/// deadline is infinite (neutral), async runs with staleness bound 0 and
+/// streaming in its degenerate one-flush-per-round shape — the
+/// configurations documented to be bit-identical to the sequential backend.
+fn backend_configs(base: &FlConfig, cohort: usize) -> Vec<(&'static str, FlConfig)> {
+    vec![
+        (
+            "sequential",
+            base.clone().with_execution(ExecutionBackend::Sequential),
+        ),
+        (
+            "parallel",
+            base.clone().with_execution(ExecutionBackend::Parallel),
+        ),
+        (
+            "deadline",
+            base.clone().with_execution(ExecutionBackend::Deadline),
+        ),
+        ("async-0", base.clone().with_async(0)),
+        (
+            "streaming",
+            base.clone().with_streaming(StreamingParams::new(cohort)),
+        ),
+    ]
+}
+
+fn run(config: FlConfig, fed: &FederatedDataset, model: &BlockNet) -> RunResult {
+    Simulation::new(config)
+        .expect("valid config")
+        .run(fed, model)
+        .expect("simulation succeeds")
+}
+
+/// A base configuration with the default policies named explicitly. Must be
+/// a no-op.
+fn explicit_defaults(base: &FlConfig) -> FlConfig {
+    base.clone()
+        .with_selection(SelectionStrategy::Entropy {
+            fraction: 0.5,
+            temperature: 0.1,
+        })
+        .with_client_selection(ClientSelection::Uniform)
+}
+
+#[test]
+fn explicit_default_policies_are_bit_identical_on_every_backend() {
+    let (fed, model) = setup();
+    let base = base_config();
+    for (name, config) in backend_configs(&base, CLIENTS) {
+        let implicit = run(config.clone(), &fed, &model);
+        let explicit = run(explicit_defaults(&config), &fed, &model);
+        assert_eq!(
+            implicit.learning_history(),
+            explicit.learning_history(),
+            "explicit default policies changed the {name} backend"
+        );
+    }
+}
+
+#[test]
+fn all_backends_agree_on_the_default_policy_run() {
+    let (fed, model) = setup();
+    let base = base_config();
+    let mut reference: Option<(&'static str, Vec<RoundRecord>)> = None;
+    for (name, config) in backend_configs(&base, CLIENTS) {
+        let history = run(config, &fed, &model).learning_history();
+        match &reference {
+            None => reference = Some((name, history)),
+            Some((ref_name, ref_history)) => assert_eq!(
+                &history, ref_history,
+                "{name} diverged from {ref_name} under default policies"
+            ),
+        }
+    }
+}
+
+#[test]
+fn partial_participation_defaults_agree_across_synchronous_backends() {
+    // Partial participation drives the uniform client-selection policy
+    // through its actual shuffle-and-truncate path. Streaming stays out:
+    // its degenerate shape requires the full cohort per flush.
+    let (fed, model) = setup();
+    let base = base_config().with_participation(0.5);
+    let sequential = run(
+        base.clone().with_execution(ExecutionBackend::Sequential),
+        &fed,
+        &model,
+    );
+    assert!((sequential.mean_participants() - 4.0).abs() < 1e-9);
+    for (name, config) in [
+        (
+            "parallel",
+            base.clone().with_execution(ExecutionBackend::Parallel),
+        ),
+        (
+            "deadline",
+            base.clone().with_execution(ExecutionBackend::Deadline),
+        ),
+        ("async-0", base.clone().with_async(0)),
+    ] {
+        let result = run(config.clone(), &fed, &model);
+        assert_eq!(
+            result.learning_history(),
+            sequential.learning_history(),
+            "{name} diverged from sequential at participation 0.5"
+        );
+        let explicit = run(explicit_defaults(&config), &fed, &model);
+        assert_eq!(
+            explicit.learning_history(),
+            sequential.learning_history(),
+            "explicit defaults diverged on {name} at participation 0.5"
+        );
+    }
+}
+
+#[test]
+fn non_default_policies_change_the_run_on_synchronous_backends() {
+    // The inverse pin: the policy layer is not a façade — swapping any
+    // single axis away from the defaults produces a genuinely different
+    // run on both synchronous backends.
+    let (fed, model) = setup();
+    let base = base_config()
+        .with_participation(0.5)
+        .with_heterogeneity(HeterogeneityModel::two_tier());
+    for backend in [ExecutionBackend::Sequential, ExecutionBackend::Parallel] {
+        let base = base.clone().with_execution(backend);
+        let baseline = run(base.clone(), &fed, &model);
+        let variants = vec![
+            base.clone()
+                .with_selection(SelectionStrategy::LossProportional { fraction: 0.5 }),
+            base.clone()
+                .with_selection(SelectionStrategy::GradientNorm { fraction: 0.5 }),
+            base.clone()
+                .with_client_selection(ClientSelection::TierAware),
+            base.clone()
+                .with_client_selection(ClientSelection::SimilarityAware),
+        ];
+        for variant in variants {
+            let result = run(variant, &fed, &model);
+            assert_ne!(
+                result.learning_history(),
+                baseline.learning_history(),
+                "a non-default policy failed to change the run"
+            );
+        }
+    }
+}
